@@ -1,0 +1,102 @@
+// Command ringexp reproduces the paper's §6 experimental study: it runs
+// the algorithms A1, B1, C1, A2, B2, C2 over the 51 test cases of Table 1,
+// scores them against exact optima (or certified lower bounds when the
+// solver budget is exceeded), and prints the Figures 2–7 histograms plus
+// the summary and per-case tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ringexp [-algs A1,C2] [-group structured|random|adversary]
+//	        [-deadline 15s] [-markdown] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ringsched/internal/experiment"
+	"ringsched/internal/opt"
+	"ringsched/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "ringexp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("ringexp", flag.ContinueOnError)
+	algs := fs.String("algs", "", "comma-separated algorithms (default: all six)")
+	group := fs.String("group", "", "restrict to one Table 1 group: structured, random or adversary")
+	deadline := fs.Duration("deadline", 15*time.Second, "per-case budget for the exact optimum solver")
+	maxArcs := fs.Int("maxarcs", 0, "cap the optimum solver's network size (0 = default); smaller falls back to lower bounds sooner")
+	markdown := fs.Bool("markdown", false, "emit the EXPERIMENTS.md tables after the histograms")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	quiet := fs.Bool("quiet", false, "suppress per-case progress lines")
+	capStudy := fs.Bool("cap", false, "run the §7 capacitated study instead of the §6 suite")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *capStudy {
+		study, err := experiment.CapStudy(opt.Limits{Deadline: *deadline, MaxArcs: *maxArcs})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiment.RenderCapStudy(study))
+		return nil
+	}
+
+	cases := workload.Suite()
+	if *group != "" {
+		var filtered []workload.Case
+		for _, c := range cases {
+			if c.Group == *group {
+				filtered = append(filtered, c)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("unknown group %q", *group)
+		}
+		cases = filtered
+	}
+
+	o := experiment.Options{OptLimits: opt.Limits{Deadline: *deadline, MaxArcs: *maxArcs}}
+	if *algs != "" {
+		o.Algorithms = strings.Split(*algs, ",")
+	}
+	if !*quiet {
+		o.Progress = func(line string) { fmt.Fprintln(errw, line) }
+	}
+
+	rep, err := experiment.RunSuite(cases, o)
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if _, err := out.Write(append(data, '\n')); err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "\nbest algorithm: %s; elapsed %s\n", rep.BestAlgorithm(), rep.Elapsed.Round(time.Second))
+		return nil
+	}
+
+	fmt.Fprint(out, rep.RenderFigures())
+	if *markdown {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, rep.Markdown())
+	}
+	fmt.Fprintf(errw, "\nbest algorithm: %s; elapsed %s\n", rep.BestAlgorithm(), rep.Elapsed.Round(time.Second))
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExpAdversaryGroup(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-group", "adversary", "-algs", "C1", "-deadline", "20s", "-maxarcs", "300000", "-markdown"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 4", "## Summary", "III-m100-L10"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+	if !strings.Contains(errw.String(), "best algorithm: C1") {
+		t.Errorf("stderr: %s", errw.String())
+	}
+}
+
+func TestExpQuietSuppressesProgress(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-group", "adversary", "-algs", "A2", "-quiet", "-deadline", "20s", "-maxarcs", "300000"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(errw.String(), "opt=") {
+		t.Error("progress lines printed despite -quiet")
+	}
+}
+
+func TestExpErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	for _, args := range [][]string{
+		{"-group", "bogus"},
+		{"-algs", "Z9"},
+		{"-flagtypo"},
+	} {
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command ringgen emits the paper's Table 1 workloads (or custom
+// generated instances) as JSON, one file per case or a single instance to
+// stdout.
+//
+// Examples:
+//
+//	ringgen -suite structured -dir ./workloads
+//	ringgen -case II-m100-rand500              # JSON to stdout
+//	ringgen -point -m 100 -heavy 10000         # custom point instance
+//	ringgen -uniform -m 50 -hi 500 -seed 7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ringsched/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "ringgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ringgen", flag.ContinueOnError)
+	suite := fs.String("suite", "", "emit a whole group: all, structured, random or adversary")
+	dir := fs.String("dir", ".", "output directory for -suite")
+	caseID := fs.String("case", "", "emit one Table 1 case to stdout")
+	point := fs.Bool("point", false, "custom: heavy load on one processor")
+	region := fs.Bool("region", false, "custom: heavy load on a region")
+	uniform := fs.Bool("uniform", false, "custom: uniform random loads")
+	m := fs.Int("m", 100, "ring size for custom instances")
+	heavy := fs.Int64("heavy", workload.Big, "heavy load for -point/-region")
+	hi := fs.Int64("hi", 100, "upper bound for -uniform draws")
+	seed := fs.Int64("seed", 1, "seed for random custom instances")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *suite != "":
+		var cases []workload.Case
+		switch *suite {
+		case "all":
+			cases = workload.Suite()
+		case "structured":
+			cases = workload.Structured()
+		case "random":
+			cases = workload.Random()
+		case "adversary":
+			cases = workload.Adversary()
+		default:
+			return fmt.Errorf("unknown suite %q", *suite)
+		}
+		for _, c := range cases {
+			data, err := json.MarshalIndent(c.In, "", "  ")
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*dir, c.ID+".json")
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (m=%d, work=%d)\n", path, c.In.M, c.In.TotalWork())
+		}
+		return nil
+
+	case *caseID != "":
+		c, err := workload.ByID(*caseID)
+		if err != nil {
+			return err
+		}
+		return emit(out, c.In)
+
+	case *point:
+		return emit(out, workload.Point(*m, *heavy))
+	case *region:
+		return emit(out, workload.Region(*m, *heavy))
+	case *uniform:
+		return emit(out, workload.Uniform(*m, *hi, *seed))
+	default:
+		return fmt.Errorf("specify -suite, -case, -point, -region or -uniform")
+	}
+}
+
+func emit(out io.Writer, in interface{ MarshalJSON() ([]byte, error) }) error {
+	data, err := json.MarshalIndent(in, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(out, string(data))
+	return err
+}

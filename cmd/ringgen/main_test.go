@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenCaseToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-case", "III-m100-L10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if decoded["kind"] != "unit" || decoded["m"] != float64(100) {
+		t.Errorf("decoded: %v", decoded)
+	}
+}
+
+func TestGenCustomGenerators(t *testing.T) {
+	for _, args := range [][]string{
+		{"-point", "-m", "12", "-heavy", "500"},
+		{"-region", "-m", "20", "-heavy", "100"},
+		{"-uniform", "-m", "8", "-hi", "50", "-seed", "3"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		if !strings.Contains(out.String(), `"kind": "unit"`) {
+			t.Errorf("run(%v) output:\n%s", args, out.String())
+		}
+	}
+}
+
+func TestGenSuiteToDir(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-suite", "adversary", "-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("wrote %d files, want 6", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "III-m100-L10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind": "unit"`) {
+		t.Errorf("file content: %s", data[:60])
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"-suite", "bogus"},
+		{"-case", "bogus"},
+		{"-wat"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

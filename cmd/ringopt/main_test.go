@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOptLoads(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-loads", "100,0,0,0,0,0,0,0,0,0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"lemma1-window=10", "optimum = ", "method="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestOptCapacitated(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-loads", "30,0,0,0,0", "-capacitated"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "lemma10-window=") || !strings.Contains(s, "time-expanded-flow") {
+		t.Errorf("capacitated output:\n%s", s)
+	}
+}
+
+func TestOptCase(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-case", "II-m10-rand100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "optimum = ") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestOptErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"-case", "junk"},
+		{"-nonsense"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

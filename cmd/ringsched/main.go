@@ -1,0 +1,106 @@
+// Command ringsched runs one scheduling algorithm on one instance and
+// reports the schedule.
+//
+// The instance comes from a JSON file (-in, as produced by ringgen), from
+// an inline load vector (-loads "100,0,0,25"), or from a named Table 1
+// case (-case I-m100-point-huge).
+//
+// Examples:
+//
+//	ringsched -loads 100,0,0,0,0,0,0,0 -alg C1
+//	ringsched -case II-m100-rand500 -alg A2 -opt
+//	ringsched -in instance.json -alg cap -gantt
+//	ringsched -loads 60,0,0,0,0,0 -alg C2 -distributed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ringsched"
+	"ringsched/internal/capring"
+	"ringsched/internal/cli"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "ringsched: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ringsched", flag.ContinueOnError)
+	inFile := fs.String("in", "", "instance JSON file")
+	loads := fs.String("loads", "", "inline comma-separated unit loads, e.g. 100,0,0,25")
+	caseID := fs.String("case", "", "Table 1 case id, e.g. I-m100-point-huge")
+	algName := fs.String("alg", "C1", "algorithm: A1,B1,C1,A2,B2,C2 or cap (§7, unit-capacity links)")
+	showOpt := fs.Bool("opt", false, "also compute the exact optimum / lower bound")
+	gantt := fs.Bool("gantt", false, "print a utilization heat map of the schedule")
+	distributed := fs.Bool("distributed", false, "run on the goroutine-per-processor runtime")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in, err := cli.LoadInstance(*inFile, *loads, *caseID)
+	if err != nil {
+		return err
+	}
+
+	var alg ringsched.Algorithm
+	opts := ringsched.Options{Record: *gantt}
+	if *algName == "cap" {
+		alg = capring.Algorithm{}
+		opts.LinkCapacity = 1
+	} else {
+		spec, err := ringsched.AlgorithmByName(*algName)
+		if err != nil {
+			return err
+		}
+		alg = spec
+	}
+
+	fmt.Fprintf(out, "instance: %v   lower bound: %d\n", in, ringsched.LowerBound(in))
+
+	if *distributed {
+		res, err := ringsched.ScheduleDistributed(in, alg, ringsched.DistOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s (goroutine runtime): makespan=%d steps=%d jobhops=%d messages=%d\n",
+			res.Algorithm, res.Makespan, res.Steps, res.JobHops, res.Messages)
+		return maybeOpt(out, in, *showOpt, *algName, res.Makespan)
+	}
+
+	res, err := ringsched.Schedule(in, alg, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: makespan=%d steps=%d jobhops=%d messages=%d utilization=%.1f%%\n",
+		res.Algorithm, res.Makespan, res.Steps, res.JobHops, res.Messages, 100*res.Utilization())
+	if *gantt && res.Trace != nil {
+		fmt.Fprint(out, res.Trace.GanttUtilization(72))
+	}
+	return maybeOpt(out, in, *showOpt, *algName, res.Makespan)
+}
+
+func maybeOpt(out io.Writer, in ringsched.Instance, show bool, algName string, makespan int64) error {
+	if !show {
+		return nil
+	}
+	var o ringsched.OptResult
+	if algName == "cap" {
+		o = ringsched.OptimalCapacitated(in, ringsched.OptLimits{})
+	} else {
+		o = ringsched.Optimal(in, ringsched.OptLimits{})
+	}
+	rel := "="
+	if !o.Exact {
+		rel = ">="
+	}
+	fmt.Fprintf(out, "optimum %s %d (%s); approximation factor <= %.3f\n",
+		rel, o.Length, o.Method, float64(makespan)/float64(o.Length))
+	return nil
+}

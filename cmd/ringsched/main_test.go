@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestRunLoads(t *testing.T) {
+	out := runOK(t, "-loads", "100,0,0,0,0,0,0,0", "-alg", "C1", "-opt")
+	for _, want := range []string{"C1: makespan=", "lower bound: 13", "optimum = ", "approximation factor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCase(t *testing.T) {
+	out := runOK(t, "-case", "III-m100-L10", "-alg", "A2")
+	if !strings.Contains(out, "A2: makespan=") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestRunCapacitated(t *testing.T) {
+	out := runOK(t, "-loads", "50,0,0,0,0", "-alg", "cap", "-opt")
+	if !strings.Contains(out, "cap: makespan=") || !strings.Contains(out, "time-expanded-flow") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestRunGantt(t *testing.T) {
+	out := runOK(t, "-loads", "20,0,0,0", "-gantt")
+	if !strings.Contains(out, "utilization (rows=processors") {
+		t.Errorf("gantt missing:\n%s", out)
+	}
+}
+
+func TestRunDistributed(t *testing.T) {
+	out := runOK(t, "-loads", "30,0,0,0,0,0", "-alg", "C2", "-distributed")
+	if !strings.Contains(out, "goroutine runtime") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "in.json")
+	if err := os.WriteFile(path, []byte(`{"kind":"unit","m":4,"unit":[9,0,0,0]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runOK(t, "-in", path)
+	if !strings.Contains(out, "work=9") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{},                                // no instance selector
+		{"-loads", "1,2", "-alg", "nope"}, // bad algorithm
+		{"-loads", "1,2", "-case", "x"},   // two selectors
+		{"-in", "/does/not/exist.json"},   // missing file
+		{"-loads", "a,b"},                 // unparsable loads
+		{"-bogusflag"},                    // flag error
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

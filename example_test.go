@@ -1,0 +1,84 @@
+package ringsched_test
+
+import (
+	"fmt"
+
+	"ringsched"
+)
+
+// Schedule a pile of jobs with the paper's 4.22-approximation algorithm
+// and compare against the exact optimum.
+func Example() {
+	works := make([]int64, 32)
+	works[0] = 400
+	in := ringsched.UnitInstance(works)
+
+	res, err := ringsched.Schedule(in, ringsched.C1(), ringsched.Options{})
+	if err != nil {
+		panic(err)
+	}
+	opt := ringsched.Optimal(in, ringsched.OptLimits{})
+	fmt.Println("optimum:", opt.Length)
+	fmt.Println("within guarantee:", float64(res.Makespan) <= 4.22*float64(opt.Length))
+	// Output:
+	// optimum: 21
+	// within guarantee: true
+}
+
+// The lower-bound machinery of Lemma 1: one pile of W jobs cannot finish
+// before sqrt(W), no matter how cleverly it is spread.
+func ExampleLowerBound() {
+	works := make([]int64, 100)
+	works[42] = 900
+	fmt.Println(ringsched.LowerBound(ringsched.UnitInstance(works)))
+	// Output:
+	// 30
+}
+
+// The §7 capacitated algorithm under one-job-per-link-per-step: Theorem 3
+// bounds it by twice the optimum plus two.
+func ExampleCapacitated() {
+	works := make([]int64, 16)
+	works[8] = 120
+	in := ringsched.UnitInstance(works)
+
+	res, err := ringsched.Schedule(in, ringsched.Capacitated{}, ringsched.CapacitatedOptions())
+	if err != nil {
+		panic(err)
+	}
+	opt := ringsched.OptimalCapacitated(in, ringsched.OptLimits{})
+	fmt.Println("theorem 3 holds:", res.Makespan <= 2*opt.Length+2)
+	// Output:
+	// theorem 3 holds: true
+}
+
+// The same processor programs run on the concurrent goroutine runtime
+// with identical results.
+func ExampleScheduleDistributed() {
+	works := make([]int64, 24)
+	works[0] = 200
+	in := ringsched.UnitInstance(works)
+
+	seq, err := ringsched.Schedule(in, ringsched.A2(), ringsched.Options{})
+	if err != nil {
+		panic(err)
+	}
+	conc, err := ringsched.ScheduleDistributed(in, ringsched.A2(), ringsched.DistOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("same makespan:", seq.Makespan == conc.Makespan)
+	// Output:
+	// same makespan: true
+}
+
+// The §3 adversary instance certifies a Lemma 1 bound of exactly L while
+// forcing buckets to travel as far as the analysis allows.
+func ExampleEvilInstance() {
+	in := ringsched.EvilInstance(200, 25)
+	fmt.Println("lower bound:", ringsched.LowerBound(in))
+	fmt.Println("loads start:", in.Unit[0], in.Unit[1], in.Unit[2])
+	// Output:
+	// lower bound: 25
+	// loads start: 25 625 25
+}

@@ -1,0 +1,63 @@
+// Adversarial instances: the §3 "evil adversary" that maximizes how far a
+// bucket travels, and the §5 two-pile construction behind the 1.06 lower
+// bound for ANY distributed algorithm.
+//
+//	go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ringsched"
+	"ringsched/internal/adversary"
+)
+
+func main() {
+	// --- §3: the evil adversary -------------------------------------
+	// Loads [L, L², L, L, ...]: every window of k processors holds the
+	// maximum M_k = L² + (k-1)L allowed when the optimum is L, so buckets
+	// keep finding full processors and must travel the full αL distance.
+	const L = 50
+	in := ringsched.EvilInstance(400, L)
+	fmt.Printf("evil adversary instance (L=%d): %v\n", L, in)
+	fmt.Println("Lemma 1 lower bound:", ringsched.LowerBound(in), "(exactly L, by construction)")
+
+	opt := ringsched.Optimal(in, ringsched.OptLimits{})
+	fmt.Printf("true optimum: %d\n", opt.Length)
+
+	for _, name := range []string{"A1", "B1", "C1", "A2", "B2", "C2"} {
+		spec, _ := ringsched.AlgorithmByName(name)
+		res, err := ringsched.Schedule(in, spec, ringsched.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-3s makespan %5d   factor %.2f\n",
+			name, res.Makespan, float64(res.Makespan)/float64(opt.Length))
+	}
+
+	// --- §5: indistinguishability -----------------------------------
+	// Instance I: two piles of W at distance 2z+1. Instance J: one pile
+	// of W. Before time z, no processor can tell which world it is in,
+	// so an algorithm that is optimal on J is provably late on I — no
+	// distributed algorithm beats 1.06x.
+	I, J, z := adversary.Section5Pair(60, 0.71)
+	fmt.Printf("\n§5 pair (t=60, eps=0.71): z=%d, ring m=%d\n", z, I.M)
+	fmt.Printf("  I (two piles):  %v   optimum(Lemma 8) = %d\n",
+		I, adversary.OptimalTwoPiles(I.TotalWork()/2, z))
+	fmt.Printf("  J (one pile):   %v\n", J)
+
+	for _, pair := range []struct {
+		name string
+		in   ringsched.Instance
+	}{{"I", I}, {"J", J}} {
+		res, err := ringsched.Schedule(pair.in, ringsched.C2(), ringsched.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := ringsched.Optimal(pair.in, ringsched.OptLimits{})
+		fmt.Printf("  C2 on %s: makespan %d, optimum %d, factor %.3f\n",
+			pair.name, res.Makespan, o.Length, float64(res.Makespan)/float64(o.Length))
+	}
+	fmt.Println("\nTheorem 2: no distributed algorithm can stay below 1.06x on BOTH I and J.")
+}

@@ -1,0 +1,57 @@
+// Truly distributed execution: the paper's algorithms need no global
+// control, so each processor can be a real concurrent process. This
+// example runs the same strictly-local programs on (a) the deterministic
+// sequential engine and (b) a goroutine-per-processor runtime with
+// channels as ring links, and shows they produce identical schedules.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"ringsched"
+)
+
+func main() {
+	const m = 256
+	rng := rand.New(rand.NewSource(7))
+	works := make([]int64, m)
+	for i := range works {
+		if rng.Intn(4) == 0 {
+			works[i] = int64(rng.Intn(2000))
+		}
+	}
+	in := ringsched.UnitInstance(works)
+	fmt.Printf("instance: %v on a %d-processor ring\n", in, m)
+
+	for _, spec := range []ringsched.Spec{ringsched.C1(), ringsched.A2()} {
+		seqStart := time.Now()
+		seq, err := ringsched.Schedule(in, spec, ringsched.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		seqDur := time.Since(seqStart)
+
+		conStart := time.Now()
+		con, err := ringsched.ScheduleDistributed(in, spec, ringsched.DistOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		conDur := time.Since(conStart)
+
+		fmt.Printf("\n%s:\n", spec.Name())
+		fmt.Printf("  sequential engine:    makespan %d  (%s wall clock)\n", seq.Makespan, seqDur.Round(time.Microsecond))
+		fmt.Printf("  %4d goroutines:      makespan %d  (%s wall clock)\n", m, con.Makespan, conDur.Round(time.Microsecond))
+		if seq.Makespan != con.Makespan {
+			log.Fatalf("runtimes disagree: %d vs %d", seq.Makespan, con.Makespan)
+		}
+		fmt.Printf("  identical schedules: %d simulated steps, %d job-hops\n", con.Steps, con.JobHops)
+	}
+
+	fmt.Println("\nBoth runtimes execute the same per-processor programs; only the")
+	fmt.Println("execution substrate differs (lockstep loop vs goroutines+channels).")
+}

@@ -1,0 +1,42 @@
+// Quickstart: schedule a pile of jobs on a ring with the paper's analyzed
+// algorithm (C1) and compare against the exact optimum.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ringsched"
+)
+
+func main() {
+	// 1000 unit jobs land on processor 0 of a 64-processor ring — think
+	// of a batch of transactions all arriving at one node.
+	works := make([]int64, 64)
+	works[0] = 1000
+	in := ringsched.UnitInstance(works)
+
+	fmt.Println("instance:", in)
+	fmt.Println("certified lower bound (Lemma 1):", ringsched.LowerBound(in))
+
+	// Run the 4.22-approximation algorithm. Every processor acts on local
+	// information only; jobs migrate one hop per time step.
+	res, err := ringsched.Schedule(in, ringsched.C1(), ringsched.Options{Record: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C1 makespan: %d (jobs moved %d total hops, %.0f%% busy)\n",
+		res.Makespan, res.JobHops, 100*res.Utilization())
+
+	// Exact optimum via the flow-based solver.
+	opt := ringsched.Optimal(in, ringsched.OptLimits{})
+	fmt.Printf("optimum: %d (%s)\n", opt.Length, opt.Method)
+	fmt.Printf("approximation factor: %.3f (guarantee: 4.22)\n",
+		float64(res.Makespan)/float64(opt.Length))
+
+	// Where did the work actually run?
+	fmt.Println()
+	fmt.Print(res.Trace.GanttUtilization(60))
+}

@@ -1,0 +1,175 @@
+package adversary
+
+import (
+	"testing"
+
+	"ringsched/internal/lb"
+)
+
+func TestEvilShape(t *testing.T) {
+	in := Evil(20, 5, 6, 0)
+	want := []int64{5, 25, 5, 5, 5, 5}
+	for i, w := range want {
+		if in.Unit[i] != w {
+			t.Errorf("Evil works[%d] = %d, want %d", i, in.Unit[i], w)
+		}
+	}
+	for i := 6; i < 20; i++ {
+		if in.Unit[i] != 0 {
+			t.Errorf("Evil works[%d] = %d, want 0", i, in.Unit[i])
+		}
+	}
+}
+
+func TestEvilStartOffsetWraps(t *testing.T) {
+	in := Evil(10, 3, 4, 8)
+	if in.Unit[8] != 3 || in.Unit[9] != 9 || in.Unit[0] != 3 || in.Unit[1] != 3 {
+		t.Errorf("Evil with wrap: %v", in.Unit)
+	}
+}
+
+func TestEvilSaturatesLemma2(t *testing.T) {
+	// Every prefix window of the region holds exactly M_k = L^2 + (k-1)L,
+	// and the overall Lemma 1 bound is exactly L.
+	for _, L := range []int64{3, 10, 40} {
+		region := 8
+		in := Evil(100, L, region, 0)
+		var S int64
+		for k := 1; k <= region; k++ {
+			S += in.Unit[k-1]
+			if k >= 2 { // the prefix including both L and L^2
+				if S != lb.MaxWindowWork(k, L) {
+					t.Errorf("L=%d k=%d: prefix %d != M_k %d", L, k, S, lb.MaxWindowWork(k, L))
+				}
+			}
+		}
+		if got := lb.Best(in); got != L {
+			t.Errorf("L=%d: lower bound %d, want exactly L", L, got)
+		}
+	}
+}
+
+func TestEvilRegion(t *testing.T) {
+	if r := EvilRegion(1000, 100); r < 147 || r > 148 { // ceil(1.45*100)+2
+		t.Errorf("EvilRegion(1000,100) = %d, want ~147", r)
+	}
+	if r := EvilRegion(100, 500); r != 100 { // clamped to ring
+		t.Errorf("EvilRegion(100,500) = %d, want 100", r)
+	}
+	if r := EvilRegion(50, 0); r != 2 {
+		t.Errorf("EvilRegion(50,0) = %d, want 2", r)
+	}
+}
+
+func TestEvilPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Evil(1, 5, 2, 0) },
+		func() { Evil(10, 5, 1, 0) },
+		func() { Evil(10, 5, 11, 0) },
+		func() { Evil(10, 0, 3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Evil case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTwoPilesAndSinglePile(t *testing.T) {
+	I := TwoPiles(50, 100, 3, 10)
+	if I.Unit[10] != 100 || I.Unit[17] != 100 {
+		t.Errorf("TwoPiles misplaced: %v", I.Unit)
+	}
+	if I.TotalWork() != 200 {
+		t.Errorf("TwoPiles total = %d", I.TotalWork())
+	}
+	J := SinglePile(50, 100, 10)
+	if J.Unit[10] != 100 || J.TotalWork() != 100 {
+		t.Errorf("SinglePile wrong: %v", J.Unit)
+	}
+}
+
+func TestTwoPilesPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { TwoPiles(7, 10, 3, 0) }, // 2z+1 = 7 >= m
+		func() { TwoPiles(50, 0, 3, 0) },
+		func() { TwoPiles(50, 5, -1, 0) },
+		func() { SinglePile(0, 5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSection5Pair(t *testing.T) {
+	I, J, z := Section5Pair(100, 0.71)
+	if z < 28 || z > 29 { // (1-0.71)*100 up to float truncation
+		t.Errorf("z = %d, want 28 or 29", z)
+	}
+	if I.M != J.M {
+		t.Error("pair on different rings")
+	}
+	if I.M <= 2*z+1 {
+		t.Error("ring too small")
+	}
+	// I holds twice J's work: W each on two piles vs W on one.
+	if I.TotalWork() != 2*J.TotalWork() {
+		t.Errorf("I work %d, J work %d", I.TotalWork(), J.TotalWork())
+	}
+	// W close to (1 - eps^2/2) t^2 = 0.747*10000.
+	if w := J.TotalWork(); w < 7400 || w > 7500 {
+		t.Errorf("W = %d out of expected range", w)
+	}
+}
+
+func TestSection5PairPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Section5Pair(1, 0.5) },
+		func() { Section5Pair(100, 0) },
+		func() { Section5Pair(100, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOptimalTwoPiles(t *testing.T) {
+	// Lemma 8: smallest t with 2t^2 - (t-z)^2 + (t-z) >= 2W (after the
+	// piles interact). For W=50, z=2: t=7 gives 98-25+5=78 < 100;
+	// t=8 gives 128-36+6=98 < 100; t=9 gives 162-49+7=120 >= 100.
+	if got := OptimalTwoPiles(50, 2); got != 9 {
+		t.Errorf("OptimalTwoPiles(50,2) = %d, want 9", got)
+	}
+	// Far-apart piles never interact: each pile of 100 needs t = 10.
+	if got := OptimalTwoPiles(100, 1000); got != 10 {
+		t.Errorf("OptimalTwoPiles(100,1000) = %d, want 10", got)
+	}
+	// Piles at distance 1 (z=0) behave like one pile of 2W on... the
+	// capacity is 2t^2 - t^2 + t = t^2 + t >= 2W.
+	if got := OptimalTwoPiles(28, 0); got != 7 { // 49+7=56 >= 56
+		t.Errorf("OptimalTwoPiles(28,0) = %d, want 7", got)
+	}
+}
+
+func TestCertifiedLB(t *testing.T) {
+	in := SinglePile(100, 400, 0)
+	if got := CertifiedLB(in); got != 20 {
+		t.Errorf("CertifiedLB = %d, want 20", got)
+	}
+}

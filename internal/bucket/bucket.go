@@ -1,0 +1,486 @@
+// Package bucket implements the paper's bucket-based distributed
+// scheduling algorithms for rings (§3–§4, §6).
+//
+// Every processor launches a "bucket" carrying its initial jobs around the
+// ring. As the bucket passes processors it drops jobs off; a processor with
+// work processes one unit per step throughout. The variants differ only in
+// the drop-off target:
+//
+//   - Variant C (§3/§4.1, "the integral algorithm"): a bucket brings the
+//     cumulative work dropped at processor j up to c·sqrt(X), where X is
+//     the work that originated on the segment the bucket has traversed.
+//     Integrality is handled exactly as §4.1 prescribes: the node runs the
+//     splittable basic algorithm as a shadow computation and constrains the
+//     integral drops by I1 (bucket side) and I2 (processor side).
+//   - Variant B (§6): like C, but the target is the strongest Lemma 1
+//     lower bound the bucket can certify from the segment it has seen,
+//     kept monotone with a running max.
+//   - Variant A (§6): the processor, not the bucket, decides: whenever a
+//     bucket passes, the processor tops its CURRENT queue up to
+//     c·sqrt(T), where T is all work that has passed it (its own plus
+//     every arriving bucketload). Because the queue drains while the
+//     processor works, it keeps refilling from later buckets — the
+//     "slightly better local load balancing" of §6.2.
+//
+// Each variant runs unidirectionally (bucket travels clockwise; the
+// paper's A1/B1/C1) or bidirectionally (the time-0 load splits in half and
+// a bucket goes each way; A2/B2/C2).
+//
+// Wrap-around (Lemma 5): a bucket that returns to its origin after m hops
+// has seen the whole ring; it switches to balancing mode and drops
+// ceil(remaining/m) per processor, emptying within one further lap.
+//
+// Arbitrary job sizes (§4.2): buckets carry explicit jobs and greedily drop
+// them (largest first) subject to the A1/A2 constraints, which relax I1/I2
+// by p_max — the largest job size seen so far by that bucket or processor
+// (learned online; no global knowledge).
+package bucket
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ringsched/internal/ring"
+	"ringsched/internal/sim"
+)
+
+// DefaultC is variant C's drop-off constant from Theorem 1 (c = 1.77,
+// giving α = 2/c + 1/c² ≈ 1.45 and the 4.22 guarantee).
+const DefaultC = 1.77
+
+// DefaultCA is the default constant for variants A and B: §6.1 describes
+// both with unscaled targets (the bare "square root of the work that has
+// passed by" for A, the bare Lemma 1 bound for B), and c = 1 for A is
+// what reproduces the paper's headline (A2 the best algorithm, worst
+// factor 1.65); see EXPERIMENTS.md for the constant sweep.
+const DefaultCA = 1.0
+
+// Variant selects the drop-off rule.
+type Variant int
+
+const (
+	// VariantA : processor keeps up to c·sqrt(work that has passed by).
+	VariantA Variant = iota
+	// VariantB : bucket tops processors up to its best Lemma 1 bound.
+	VariantB
+	// VariantC : bucket tops processors up to c·sqrt(segment work); the
+	// paper's analyzed algorithm.
+	VariantC
+)
+
+// String returns "A", "B" or "C".
+func (v Variant) String() string {
+	switch v {
+	case VariantA:
+		return "A"
+	case VariantB:
+		return "B"
+	case VariantC:
+		return "C"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Spec selects and parameterizes an algorithm. The zero value is not valid;
+// use one of the constructors or fill every field.
+type Spec struct {
+	Variant       Variant
+	Bidirectional bool
+	// C is the multiplicative constant applied to the drop-off target
+	// (sqrt targets for A and C, the Lemma 1 bound for B). Zero means the
+	// variant's default: DefaultC for C, 1.0 for A and B.
+	C float64
+	// DirectRounding replaces the §4.1 I1/I2 shadow construction for
+	// variant C with naive floor-of-target rounding. Ablation only.
+	DirectRounding bool
+}
+
+// A1, B1, C1, A2, B2 and C2 are the six algorithms simulated in §6.
+// A zero C field means the variant's default constant (DefaultC for C,
+// DefaultCA for A and B).
+func A1() Spec { return Spec{Variant: VariantA} }
+func B1() Spec { return Spec{Variant: VariantB} }
+func C1() Spec { return Spec{Variant: VariantC} }
+func A2() Spec { return Spec{Variant: VariantA, Bidirectional: true} }
+func B2() Spec { return Spec{Variant: VariantB, Bidirectional: true} }
+func C2() Spec { return Spec{Variant: VariantC, Bidirectional: true} }
+
+// ByName resolves the paper's algorithm names ("A1".."C2").
+func ByName(name string) (Spec, error) {
+	switch name {
+	case "A1":
+		return A1(), nil
+	case "B1":
+		return B1(), nil
+	case "C1":
+		return C1(), nil
+	case "A2":
+		return A2(), nil
+	case "B2":
+		return B2(), nil
+	case "C2":
+		return C2(), nil
+	default:
+		return Spec{}, fmt.Errorf("bucket: unknown algorithm %q", name)
+	}
+}
+
+// Name implements sim.Algorithm: "C1", "A2", etc., with the constant
+// appended when it is not the paper's.
+func (s Spec) Name() string {
+	dirs := "1"
+	if s.Bidirectional {
+		dirs = "2"
+	}
+	name := s.Variant.String() + dirs
+	if s.C != 0 && s.C != s.defaultC() {
+		name = fmt.Sprintf("%s(c=%.2f)", name, s.C)
+	}
+	if s.DirectRounding {
+		name += "-direct"
+	}
+	return name
+}
+
+// defaultC returns the variant's default constant: C uses Theorem 1's
+// 1.77; A and B use 1.0 (§6.1 describes both with unscaled targets — the
+// bare square root for A, the bare Lemma 1 bound for B).
+func (s Spec) defaultC() float64 {
+	if s.Variant == VariantC {
+		return DefaultC
+	}
+	return DefaultCA
+}
+
+func (s Spec) c() float64 {
+	if s.C == 0 {
+		return s.defaultC()
+	}
+	return s.C
+}
+
+// lemma1Target is variant B's drop-off target: the Lemma 1 bound certified
+// by k processors holding X work.
+func lemma1Target(k int, X int64) float64 {
+	if X <= 0 {
+		return 0
+	}
+	b := float64(k-1) / 2
+	return math.Sqrt(b*b+float64(X)) - b
+}
+
+// NewNode implements sim.Algorithm.
+func (s Spec) NewNode(local sim.LocalInfo) sim.Node {
+	n := &node{spec: s, local: local, sized: local.SizedRun}
+	if local.Sized != nil {
+		n.pmaxProc = maxOf(local.Sized)
+	}
+	return n
+}
+
+// meta is the bucket state travelling inside a packet. It is copied on
+// forward, never shared, so all knowledge stays local to the bucket.
+type meta struct {
+	origin int
+	hops   int   // hops travelled so far
+	seen   int64 // total work that originated on the traversed segment
+
+	// Variant C fractional shadow (§4.1): the splittable bucket contents
+	// and its cumulative drops D_i(t), plus the integral drops for I1.
+	frac     float64
+	dropFrac float64
+	dropInt  int64
+
+	// Variant B monotone target.
+	bestTarget float64
+
+	// §4.2: largest job this bucket has carried (p_max slack in A1).
+	pmaxBucket int64
+
+	// Wrap-around balancing mode (Lemma 5).
+	balance bool
+	perInt  int64
+	perFrac float64
+}
+
+// node is the per-processor program shared by all variants.
+type node struct {
+	spec  Spec
+	local sim.LocalInfo
+	sized bool
+
+	// Cumulative processor-side state.
+	aInt     int64   // integral work accepted here (incl. time-0 keep)
+	aFrac    float64 // fractional shadow work accepted here (variant C)
+	passed   int64   // variant A: work seen passing, incl. own x
+	pmaxProc int64   // §4.2: largest job size seen here
+}
+
+var _ sim.Algorithm = Spec{}
+
+func maxOf(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Start launches this processor's bucket(s) at time 0, retaining whatever
+// the drop rule keeps locally.
+func (n *node) Start(ctx sim.Ctx) {
+	x := n.local.Work()
+	if n.spec.Variant == VariantA {
+		n.passed = x
+	}
+	if x == 0 {
+		return
+	}
+	if n.local.M == 1 {
+		// Degenerate ring: nothing to balance, keep everything.
+		n.depositAll(ctx, n.local.Unit, n.local.Sized)
+		return
+	}
+
+	if !n.spec.Bidirectional {
+		b := n.newBucket(x)
+		work, jobs := n.initialPayload()
+		n.dropAndForward(ctx, &b, work, jobs, ring.Clockwise)
+		return
+	}
+
+	// Bidirectional: split the payload in half (clockwise gets the odd
+	// unit / the larger jobs); both buckets know the full origin load x.
+	work, jobs := n.initialPayload()
+	cwWork := (work + 1) / 2
+	ccwWork := work - cwWork
+	var cwJobs, ccwJobs []int64
+	for i, j := range jobs { // jobs are sorted descending; deal alternately
+		if i%2 == 0 {
+			cwJobs = append(cwJobs, j)
+		} else {
+			ccwJobs = append(ccwJobs, j)
+		}
+	}
+	cw := n.newBucket(x)
+	ccw := n.newBucket(x)
+	n.dropAndForward(ctx, &cw, cwWork, cwJobs, ring.Clockwise)
+	n.dropAndForward(ctx, &ccw, ccwWork, ccwJobs, ring.CounterClockwise)
+}
+
+// initialPayload returns this node's initial jobs as engine payload:
+// (unit work, sized jobs sorted descending).
+func (n *node) initialPayload() (int64, []int64) {
+	if !n.sized {
+		return n.local.Unit, nil
+	}
+	jobs := append([]int64(nil), n.local.Sized...)
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i] > jobs[j] })
+	return 0, jobs
+}
+
+// newBucket creates the travelling state for a bucket born here. originX is
+// the full load of the origin; both directions of a bidirectional run know
+// the full x, but each fractional shadow bucket carries half of it.
+func (n *node) newBucket(originX int64) meta {
+	b := meta{origin: n.local.Index, seen: originX}
+	if n.spec.Variant == VariantC {
+		if n.spec.Bidirectional {
+			b.frac = float64(originX) / 2
+		} else {
+			b.frac = float64(originX)
+		}
+	}
+	if n.sized {
+		b.pmaxBucket = n.pmaxProc
+	}
+	return b
+}
+
+func sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func (n *node) depositAll(ctx sim.Ctx, unit int64, jobs []int64) {
+	if unit > 0 {
+		ctx.Deposit(unit)
+	}
+	for _, j := range jobs {
+		ctx.DepositJob(j)
+	}
+	n.aInt += unit + sum(jobs)
+}
+
+// Receive handles an arriving bucket: update segment knowledge, apply the
+// drop rule, forward the remainder.
+func (n *node) Receive(ctx sim.Ctx, p *sim.Packet) {
+	b, ok := p.Meta.(meta)
+	if !ok {
+		panic(fmt.Sprintf("bucket: foreign packet meta %T", p.Meta))
+	}
+	b.hops++
+	if !b.balance {
+		b.seen += n.local.Work()
+	}
+	if pm := maxOf(p.Jobs); pm > n.pmaxProc {
+		n.pmaxProc = pm
+	}
+	if pm := b.pmaxBucket; pm > n.pmaxProc {
+		n.pmaxProc = pm
+	}
+	n.dropAndForward(ctx, &b, p.Work, p.Jobs, p.Dir)
+}
+
+// Tick is unused by the bucket algorithms (all decisions happen on
+// arrival).
+func (n *node) Tick(ctx sim.Ctx) {}
+
+// dropAndForward applies the variant's drop rule for bucket b visiting this
+// node carrying (work, jobs), deposits the drop, and forwards the rest in
+// direction dir. Called both at Start (hops == 0) and on Receive.
+func (n *node) dropAndForward(ctx sim.Ctx, b *meta, work int64, jobs []int64, dir ring.Direction) {
+	m := n.local.M
+
+	// Entering balance mode: the bucket is back home after a full lap and
+	// now knows the entire ring's load (Lemma 5).
+	if !b.balance && b.hops >= m {
+		b.balance = true
+		remaining := work + sum(jobs)
+		b.perInt = (remaining + int64(m) - 1) / int64(m)
+		b.perFrac = b.frac / float64(m)
+	}
+
+	if n.spec.Variant == VariantA && b.hops > 0 && !b.balance {
+		n.passed += work + sum(jobs)
+	}
+
+	// quota is the total work this visit may deposit here. For sized runs
+	// the p_max slack of §4.2 is already folded in, so the greedy job
+	// selection below needs no further relaxation.
+	var quota int64
+	switch {
+	case b.balance:
+		quota = b.perInt
+		if n.spec.Variant == VariantC && !n.spec.DirectRounding {
+			// Keep the shadow bookkeeping consistent.
+			d := math.Min(b.frac, b.perFrac)
+			b.frac -= d
+			b.dropFrac += d
+			n.aFrac += d
+		}
+		if n.sized {
+			quota += n.pmaxProc
+		}
+	case n.spec.Variant == VariantA:
+		// A's target is the processor's CURRENT queue, not its cumulative
+		// intake: it "removes jobs from buckets so as to have the square
+		// root of the work that has passed by". A processor that keeps
+		// processing therefore keeps refilling from every passing bucket —
+		// the "slightly better local load balancing" §6.2 credits for A's
+		// strong empirical showing.
+		target := n.spec.c() * math.Sqrt(float64(n.passed))
+		quota = int64(target) - ctx.PoolWork()
+		if n.sized {
+			quota += n.pmaxProc
+		}
+	case n.spec.Variant == VariantB:
+		k := b.hops + 1
+		if t := n.spec.c() * lemma1Target(k, b.seen); t > b.bestTarget {
+			b.bestTarget = t
+		}
+		quota = int64(b.bestTarget) - n.aInt
+		if n.sized {
+			quota += n.pmaxProc
+		}
+	case n.spec.DirectRounding:
+		target := n.spec.c() * math.Sqrt(float64(b.seen))
+		quota = int64(target) - n.aInt
+		if n.sized {
+			quota += n.pmaxProc
+		}
+	default: // Variant C, §4.1 integral algorithm with the I1/I2 shadow.
+		target := n.spec.c() * math.Sqrt(float64(b.seen))
+		d := math.Min(b.frac, math.Max(0, target-n.aFrac))
+		b.frac -= d
+		b.dropFrac += d
+		n.aFrac += d
+		// I1 caps the bucket's cumulative drops, I2 the processor's
+		// cumulative intake; §4.2's A1/A2 relax each by the p_max that
+		// side has seen.
+		i1 := int64(math.Ceil(b.dropFrac)) - b.dropInt
+		i2 := 1 + int64(math.Ceil(n.aFrac)) - n.aInt
+		if n.sized {
+			i1 += b.pmaxBucket
+			i2 += n.pmaxProc
+		}
+		quota = i1
+		if i2 < quota {
+			quota = i2
+		}
+	}
+	if quota < 0 {
+		quota = 0
+	}
+
+	dropUnit, keptJobs, dropJobs := takePayload(work, jobs, quota)
+	dropped := dropUnit + sum(dropJobs)
+	if dropped > 0 {
+		if dropUnit > 0 {
+			ctx.Deposit(dropUnit)
+		}
+		for _, j := range dropJobs {
+			ctx.DepositJob(j)
+		}
+		n.aInt += dropped
+		b.dropInt += dropped
+	}
+
+	restWork := work - dropUnit
+	if restWork > 0 || len(keptJobs) > 0 {
+		ctx.Send(&sim.Packet{Dir: dir, Work: restWork, Jobs: keptJobs, Meta: *b})
+	}
+}
+
+// takePayload selects what to drop within the work quota. Unit work is
+// divisible down to single jobs; sized jobs are chosen greedily
+// largest-first while they fit (§4.2's "goes through the bucket and
+// greedily chooses jobs until no more can be chosen without violating one
+// of the constraints"). jobs must be sorted descending; kept preserves
+// that order.
+func takePayload(work int64, jobs []int64, quota int64) (dropUnit int64, kept, drop []int64) {
+	if quota <= 0 {
+		return 0, jobs, nil
+	}
+	dropUnit = min64(work, quota)
+	dropped := dropUnit
+	for i, j := range jobs {
+		if dropped+j <= quota {
+			if drop == nil {
+				drop = make([]int64, 0, len(jobs)-i)
+			}
+			drop = append(drop, j)
+			dropped += j
+		} else {
+			if kept == nil {
+				kept = make([]int64, 0, len(jobs)-i)
+			}
+			kept = append(kept, j)
+		}
+	}
+	return dropUnit, kept, drop
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,476 @@
+package bucket
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ringsched/internal/instance"
+	"ringsched/internal/lb"
+	"ringsched/internal/sim"
+)
+
+var allSpecs = []Spec{A1(), B1(), C1(), A2(), B2(), C2()}
+
+func run(t *testing.T, in instance.Instance, spec Spec) sim.Result {
+	t.Helper()
+	res, err := sim.Run(in, spec, sim.Options{})
+	if err != nil {
+		t.Fatalf("%s on %v: %v", spec.Name(), in, err)
+	}
+	return res
+}
+
+func TestNamesAndByName(t *testing.T) {
+	names := []string{"A1", "B1", "C1", "A2", "B2", "C2"}
+	for i, spec := range allSpecs {
+		if spec.Name() != names[i] {
+			t.Errorf("spec %d Name = %q, want %q", i, spec.Name(), names[i])
+		}
+		got, err := ByName(names[i])
+		if err != nil || got != spec {
+			t.Errorf("ByName(%q) = %+v, %v", names[i], got, err)
+		}
+	}
+	if _, err := ByName("Z9"); err == nil {
+		t.Error("ByName accepted junk")
+	}
+	if got := (Spec{Variant: VariantC, C: 2.5}).Name(); got != "C1(c=2.50)" {
+		t.Errorf("custom-c name = %q", got)
+	}
+	if got := (Spec{Variant: VariantC, DirectRounding: true}).Name(); got != "C1-direct" {
+		t.Errorf("direct name = %q", got)
+	}
+	if got := Variant(9).String(); got != "Variant(9)" {
+		t.Errorf("unknown variant = %q", got)
+	}
+}
+
+func TestAllVariantsCompleteAllWork(t *testing.T) {
+	instances := []instance.Instance{
+		instance.NewUnit([]int64{100, 0, 0, 0, 0, 0, 0, 0}),
+		instance.NewUnit([]int64{50, 50, 0, 0, 0, 0, 0, 0, 0, 0}),
+		instance.NewUnit([]int64{7, 3, 9, 1, 0, 2, 8, 4}),
+		instance.NewUnit([]int64{1000, 0, 0, 0, 0, 0, 0, 0, 0, 0}),
+	}
+	for _, in := range instances {
+		for _, spec := range allSpecs {
+			res, err := sim.Run(in, spec, sim.Options{Record: true})
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name(), err)
+			}
+			var done int64
+			for _, p := range res.Processed {
+				done += p
+			}
+			if done != in.TotalWork() {
+				t.Errorf("%s processed %d of %d", spec.Name(), done, in.TotalWork())
+			}
+			if err := res.Trace.Verify(in); err != nil {
+				t.Errorf("%s trace: %v", spec.Name(), err)
+			}
+		}
+	}
+}
+
+func TestMakespanNeverBeatsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 25; trial++ {
+		m := 2 + rng.Intn(30)
+		works := make([]int64, m)
+		for i := range works {
+			if rng.Intn(3) == 0 {
+				works[i] = int64(rng.Intn(200))
+			}
+		}
+		in := instance.NewUnit(works)
+		bound := lb.Best(in)
+		for _, spec := range allSpecs {
+			res := run(t, in, spec)
+			if res.Makespan < bound {
+				t.Fatalf("%s makespan %d beats lower bound %d on %v",
+					spec.Name(), res.Makespan, bound, works)
+			}
+		}
+	}
+}
+
+func TestSinglePileApproximation(t *testing.T) {
+	// One pile of W on a large ring: OPT = ceil(sqrt(W)) exactly, so the
+	// Theorem 1 guarantee is testable without the optimum solver.
+	for _, W := range []int64{100, 1000, 10000} {
+		works := make([]int64, 600)
+		works[300] = W
+		in := instance.NewUnit(works)
+		opt := int64(math.Ceil(math.Sqrt(float64(W))))
+		for _, spec := range allSpecs {
+			res := run(t, in, spec)
+			factor := float64(res.Makespan) / float64(opt)
+			if factor > 4.22+0.1 {
+				t.Errorf("%s on pile %d: factor %.3f exceeds 4.22", spec.Name(), W, factor)
+			}
+			if res.Makespan < opt {
+				t.Errorf("%s on pile %d: makespan %d < OPT %d", spec.Name(), W, res.Makespan, opt)
+			}
+		}
+	}
+}
+
+func TestBidirectionalNoWorseThanDouble(t *testing.T) {
+	// §6.2: bidirectional variants were somewhat better but never by
+	// close to 2x; sanity-check that the split does not hurt badly either.
+	works := make([]int64, 200)
+	works[0] = 5000
+	in := instance.NewUnit(works)
+	for _, pair := range [][2]Spec{{A1(), A2()}, {B1(), B2()}, {C1(), C2()}} {
+		uni := run(t, in, pair[0])
+		bi := run(t, in, pair[1])
+		if bi.Makespan > 2*uni.Makespan {
+			t.Errorf("%s=%d much worse than %s=%d", pair[1].Name(), bi.Makespan, pair[0].Name(), uni.Makespan)
+		}
+	}
+}
+
+func TestIntegralWithinTwoOfFractional(t *testing.T) {
+	// Lemma 6: the integral algorithm finishes at most 2 time units after
+	// the basic (splittable) algorithm on every instance.
+	rng := rand.New(rand.NewSource(4))
+	cases := [][]int64{
+		{100, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		{30, 0, 10, 0, 50, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0},
+	}
+	for trial := 0; trial < 10; trial++ {
+		m := 10 + rng.Intn(20)
+		works := make([]int64, m)
+		for i := range works {
+			works[i] = int64(rng.Intn(60))
+		}
+		cases = append(cases, works)
+	}
+	for _, spec := range []Spec{C1(), C2()} {
+		for _, works := range cases {
+			in := instance.NewUnit(works)
+			fr := RunFractional(in, spec)
+			res := run(t, in, spec)
+			if float64(res.Makespan) > fr.Makespan+2.000001 {
+				t.Errorf("%s on %v: integral %d > fractional %.3f + 2",
+					spec.Name(), works, res.Makespan, fr.Makespan)
+			}
+		}
+	}
+}
+
+func TestIntegralRespectsI2AgainstFractionalReference(t *testing.T) {
+	// I2: every processor accepts at most 1 + ceil(R_j) where R_j is the
+	// fractional algorithm's drops there — checkable because Processed[j]
+	// equals total work accepted at j.
+	works := []int64{80, 0, 13, 0, 0, 41, 0, 0, 0, 5, 0, 0}
+	in := instance.NewUnit(works)
+	for _, spec := range []Spec{C1(), C2()} {
+		fr := RunFractional(in, spec)
+		res := run(t, in, spec)
+		for j := range works {
+			cap := 1 + int64(math.Ceil(fr.Accepted[j]))
+			if res.Processed[j] > cap {
+				t.Errorf("%s: processor %d accepted %d > 1+ceil(%f)",
+					spec.Name(), j, res.Processed[j], fr.Accepted[j])
+			}
+		}
+	}
+}
+
+func TestWrapAroundTerminatesAndBalances(t *testing.T) {
+	// Uniform heavy load on a tiny ring forces buckets all the way around.
+	in := instance.NewUnit([]int64{100, 100, 100, 100})
+	bound := lb.Best(in) // 100
+	for _, spec := range allSpecs {
+		res := run(t, in, spec)
+		if res.Makespan < bound {
+			t.Fatalf("%s beats LB", spec.Name())
+		}
+		// Lemma 5 territory: schedule is at most 2m + L plus slack.
+		if res.Makespan > 2*4+bound+10 {
+			t.Errorf("%s wrap-around makespan %d too large (LB %d)", spec.Name(), res.Makespan, bound)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	works := []int64{9, 0, 44, 3, 0, 0, 17, 2}
+	in := instance.NewUnit(works)
+	for _, spec := range allSpecs {
+		a := run(t, in, spec)
+		b := run(t, in, spec)
+		if a.Makespan != b.Makespan || a.JobHops != b.JobHops || a.Messages != b.Messages {
+			t.Errorf("%s is nondeterministic", spec.Name())
+		}
+	}
+}
+
+func TestTinyRings(t *testing.T) {
+	for _, spec := range allSpecs {
+		// m = 1: everything processes locally.
+		res := run(t, instance.NewUnit([]int64{17}), spec)
+		if res.Makespan != 17 {
+			t.Errorf("%s m=1 makespan = %d, want 17", spec.Name(), res.Makespan)
+		}
+		// m = 2.
+		res = run(t, instance.NewUnit([]int64{20, 0}), spec)
+		if res.Makespan < 10 || res.Makespan > 25 {
+			t.Errorf("%s m=2 makespan = %d out of sane range", spec.Name(), res.Makespan)
+		}
+	}
+}
+
+func TestEmptyAndSparse(t *testing.T) {
+	for _, spec := range allSpecs {
+		res := run(t, instance.Empty(6), spec)
+		if res.Makespan != 0 {
+			t.Errorf("%s empty makespan = %d", spec.Name(), res.Makespan)
+		}
+		res = run(t, instance.NewUnit([]int64{0, 1, 0, 0}), spec)
+		if res.Makespan != 1 {
+			t.Errorf("%s single job makespan = %d, want 1", spec.Name(), res.Makespan)
+		}
+	}
+}
+
+func TestSizedJobsCompleteAndRespectPMax(t *testing.T) {
+	in := instance.NewSized([][]int64{
+		{40, 1, 1, 5}, {}, {3, 3, 3}, {}, {}, {10}, {}, {},
+	})
+	pmax := in.PMax()
+	bound := lb.Best(in)
+	for _, spec := range allSpecs {
+		res, err := sim.Run(in, spec, sim.Options{Record: true})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		var done int64
+		for _, p := range res.Processed {
+			done += p
+		}
+		if done != in.TotalWork() {
+			t.Errorf("%s: processed %d of %d", spec.Name(), done, in.TotalWork())
+		}
+		if res.Makespan < pmax || res.Makespan < bound {
+			t.Errorf("%s: makespan %d below lower bounds (pmax %d, lb %d)",
+				spec.Name(), res.Makespan, pmax, bound)
+		}
+		if err := res.Trace.Verify(in); err != nil {
+			t.Errorf("%s trace: %v", spec.Name(), err)
+		}
+	}
+}
+
+func TestArbitraryAlgorithmGuaranteeOnSizedPile(t *testing.T) {
+	// A pile of b jobs of size p on a big ring. OPT for the work volume
+	// is about sqrt(W) rounded to job granularity; Corollary 2 promises
+	// 5.22x. Test against the certified lower bound max(LB, pmax), which
+	// here is tight up to rounding.
+	for _, p := range []int64{3, 17} {
+		jobs := make([]int64, 400)
+		for i := range jobs {
+			jobs[i] = p
+		}
+		rows := make([][]int64, 300)
+		rows[150] = jobs
+		in := instance.NewSized(rows)
+		bound := lb.Best(in)
+		for _, spec := range []Spec{C1(), C2()} {
+			res, err := sim.Run(in, spec, sim.Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name(), err)
+			}
+			factor := float64(res.Makespan) / float64(bound)
+			if factor > 5.22+0.3 {
+				t.Errorf("%s on %d jobs of size %d: factor %.3f vs LB", spec.Name(), len(jobs), p, factor)
+			}
+		}
+	}
+}
+
+func TestFractionalBasicProperties(t *testing.T) {
+	// Single pile: fractional makespan within [sqrt(W), 4.22*sqrt(W)].
+	for _, W := range []int64{100, 2500, 40000} {
+		works := make([]int64, 1200)
+		works[600] = W
+		in := instance.NewUnit(works)
+		for _, spec := range []Spec{C1(), C2()} {
+			fr := RunFractional(in, spec)
+			root := math.Sqrt(float64(W))
+			if fr.Makespan < root-1 {
+				t.Errorf("%s fractional makespan %.2f beats sqrt(%d)", spec.Name(), fr.Makespan, W)
+			}
+			if fr.Makespan > 4.22*root+2 {
+				t.Errorf("%s fractional makespan %.2f exceeds 4.22*sqrt(%d)", spec.Name(), fr.Makespan, W)
+			}
+			// Conservation: accepted sums to W.
+			var total float64
+			for _, a := range fr.Accepted {
+				total += a
+			}
+			if math.Abs(total-float64(W)) > 1e-6*float64(W)+1e-6 {
+				t.Errorf("%s fractional lost work: %.6f of %d", spec.Name(), total, W)
+			}
+		}
+	}
+}
+
+func TestFractionalSingleProcessor(t *testing.T) {
+	fr := RunFractional(instance.NewUnit([]int64{42}), C1())
+	if fr.Makespan != 42 || fr.Accepted[0] != 42 {
+		t.Errorf("m=1 fractional: %+v", fr)
+	}
+}
+
+func TestFractionalWrapConservation(t *testing.T) {
+	in := instance.NewUnit([]int64{100, 100, 100, 100})
+	for _, spec := range []Spec{C1(), C2()} {
+		fr := RunFractional(in, spec)
+		var total float64
+		for _, a := range fr.Accepted {
+			total += a
+		}
+		if math.Abs(total-400) > 1e-6 {
+			t.Errorf("%s wrap lost work: %.9f of 400", spec.Name(), total)
+		}
+		if fr.Makespan < 100 {
+			t.Errorf("%s wrap makespan %.2f beats LB 100", spec.Name(), fr.Makespan)
+		}
+	}
+}
+
+func TestTakePayload(t *testing.T) {
+	// Unit work clamps to quota.
+	u, kept, drop := takePayload(10, nil, 4)
+	if u != 4 || kept != nil || drop != nil {
+		t.Errorf("unit take = %d %v %v", u, kept, drop)
+	}
+	// No quota: keep everything.
+	u, kept, drop = takePayload(5, []int64{3, 2}, 0)
+	if u != 0 || len(kept) != 2 || drop != nil {
+		t.Errorf("zero quota take = %d %v %v", u, kept, drop)
+	}
+	// Greedy largest-first within quota.
+	u, kept, drop = takePayload(0, []int64{9, 5, 4, 1}, 10)
+	if u != 0 {
+		t.Errorf("unexpected unit drop %d", u)
+	}
+	if len(drop) != 2 || drop[0] != 9 || drop[1] != 1 {
+		t.Errorf("drop = %v, want [9 1]", drop)
+	}
+	if len(kept) != 2 || kept[0] != 5 || kept[1] != 4 {
+		t.Errorf("kept = %v, want [5 4]", kept)
+	}
+}
+
+func TestVariantBTargetMonotone(t *testing.T) {
+	if lemma1Target(1, 100) != 10 {
+		t.Errorf("lemma1Target(1,100) = %v", lemma1Target(1, 100))
+	}
+	if lemma1Target(5, 0) != 0 {
+		t.Errorf("lemma1Target(5,0) = %v", lemma1Target(5, 0))
+	}
+	// Wider window with same work certifies a weaker bound.
+	if lemma1Target(10, 100) >= lemma1Target(1, 100) {
+		t.Error("lemma1Target should decrease with k for fixed work")
+	}
+}
+
+func TestForeignPacketPanics(t *testing.T) {
+	n := C1().NewNode(sim.LocalInfo{M: 3, Index: 0, Unit: 1})
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "foreign") {
+			t.Errorf("foreign meta not rejected: %v", r)
+		}
+	}()
+	n.Receive(nil, &sim.Packet{Meta: "junk"})
+}
+
+func TestCustomConstant(t *testing.T) {
+	works := make([]int64, 100)
+	works[0] = 2000
+	in := instance.NewUnit(works)
+	for _, c := range []float64{1.0, 1.77, 3.0} {
+		spec := Spec{Variant: VariantC, C: c}
+		res := run(t, in, spec)
+		if res.Makespan < lb.Best(in) {
+			t.Errorf("c=%v beats LB", c)
+		}
+	}
+}
+
+func TestDirectRoundingAblationCompletes(t *testing.T) {
+	works := []int64{500, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	in := instance.NewUnit(works)
+	spec := Spec{Variant: VariantC, C: DefaultC, DirectRounding: true}
+	res := run(t, in, spec)
+	var done int64
+	for _, p := range res.Processed {
+		done += p
+	}
+	if done != 500 {
+		t.Errorf("direct rounding lost work: %d of 500", done)
+	}
+}
+
+func TestSizedWrapAroundBalances(t *testing.T) {
+	// Heavy sized loads on a tiny ring force buckets all the way around;
+	// the balance mode must still drain sized payloads.
+	rows := make([][]int64, 4)
+	for i := range rows {
+		for k := 0; k < 30; k++ {
+			rows[i] = append(rows[i], 7)
+		}
+	}
+	in := instance.NewSized(rows)
+	for _, spec := range allSpecs {
+		res, err := sim.Run(in, spec, sim.Options{Record: true})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		var done int64
+		for _, p := range res.Processed {
+			done += p
+		}
+		if done != in.TotalWork() {
+			t.Errorf("%s: processed %d of %d", spec.Name(), done, in.TotalWork())
+		}
+		if err := res.Trace.Verify(in); err != nil {
+			t.Errorf("%s trace: %v", spec.Name(), err)
+		}
+	}
+}
+
+func TestDirectRoundingSized(t *testing.T) {
+	rows := make([][]int64, 20)
+	rows[0] = []int64{40, 12, 12, 3, 3}
+	in := instance.NewSized(rows)
+	spec := Spec{Variant: VariantC, DirectRounding: true}
+	res, err := sim.Run(in, spec, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done int64
+	for _, p := range res.Processed {
+		done += p
+	}
+	if done != 70 {
+		t.Errorf("direct-rounding sized lost work: %d of 70", done)
+	}
+}
+
+func TestSingleProcessorSized(t *testing.T) {
+	in := instance.NewSized([][]int64{{5, 3}})
+	for _, spec := range allSpecs {
+		res, err := sim.Run(in, spec, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan != 8 {
+			t.Errorf("%s m=1 sized makespan = %d, want 8", spec.Name(), res.Makespan)
+		}
+	}
+}

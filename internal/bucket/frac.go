@@ -1,0 +1,139 @@
+package bucket
+
+import (
+	"math"
+
+	"ringsched/internal/instance"
+)
+
+// FracResult reports a run of the splittable Basic Algorithm of §3.
+type FracResult struct {
+	// Makespan is the completion time of the fractional schedule, where a
+	// processor works at rate 1 on whatever has been dropped on it.
+	Makespan float64
+	// Accepted is the total (fractional) work dropped at each processor,
+	// i.e. R_j at termination.
+	Accepted []float64
+	// EmptyAt[i] is the hop count at which processor i's clockwise bucket
+	// emptied (0 when the processor started empty). For bidirectional runs
+	// it is the later of the two buckets.
+	EmptyAt []int
+}
+
+// RunFractional executes the Basic Algorithm with splittable jobs
+// analytically, outside the packet engine: bucket i is at processor i±t at
+// time t, so the whole run is a deterministic scan. It serves as the
+// reference implementation for the I1/I2 shadow computation inside the
+// integral nodes and for the Theorem 1 property tests.
+//
+// Drop ordering matches the engine exactly: at each step, clockwise
+// buckets drop (in origin order) before counter-clockwise ones.
+func RunFractional(in instance.Instance, spec Spec) FracResult {
+	m := in.M
+	works := in.Works()
+	c := spec.c()
+
+	res := FracResult{
+		Accepted: make([]float64, m),
+		EmptyAt:  make([]int, m),
+	}
+	if m == 1 {
+		res.Accepted[0] = float64(works[0])
+		res.Makespan = float64(works[0])
+		return res
+	}
+
+	type fbucket struct {
+		origin  int
+		dir     int // +1 cw, -1 ccw
+		content float64
+		seen    int64
+		balance bool
+		per     float64
+	}
+	var buckets []fbucket
+	for i := 0; i < m; i++ {
+		if works[i] == 0 {
+			continue
+		}
+		if spec.Bidirectional {
+			half := float64(works[i]) / 2
+			buckets = append(buckets,
+				fbucket{origin: i, dir: +1, content: half, seen: works[i]},
+				fbucket{origin: i, dir: -1, content: half, seen: works[i]})
+		} else {
+			buckets = append(buckets,
+				fbucket{origin: i, dir: +1, content: float64(works[i]), seen: works[i]})
+		}
+	}
+
+	// arrivals[j] accumulates (time, amount) drop events per processor,
+	// appended in increasing time order.
+	type arrival struct {
+		t int
+		w float64
+	}
+	arrivals := make([][]arrival, m)
+	a := res.Accepted // alias: cumulative accepted per processor
+
+	const eps = 1e-9
+	alive := len(buckets)
+	for t := 0; alive > 0 && t <= 2*m+2; t++ {
+		// Clockwise buckets first, then counter-clockwise, matching the
+		// engine's delivery order.
+		for pass := 0; pass < 2; pass++ {
+			wantDir := +1
+			if pass == 1 {
+				wantDir = -1
+			}
+			for bi := range buckets {
+				b := &buckets[bi]
+				if b.dir != wantDir || b.content <= eps {
+					continue
+				}
+				j := ((b.origin+b.dir*t)%m + m) % m
+				if t > 0 && !b.balance {
+					b.seen += works[j]
+				}
+				if !b.balance && t >= m {
+					b.balance = true
+					b.per = b.content / float64(m)
+				}
+				var d float64
+				if b.balance {
+					d = math.Min(b.content, b.per)
+				} else {
+					target := c * math.Sqrt(float64(b.seen))
+					d = math.Min(b.content, math.Max(0, target-a[j]))
+				}
+				if d > 0 {
+					a[j] += d
+					arrivals[j] = append(arrivals[j], arrival{t: t, w: d})
+				}
+				b.content -= d
+				if b.content <= eps {
+					b.content = 0
+					alive--
+					if t > res.EmptyAt[b.origin] {
+						res.EmptyAt[b.origin] = t
+					}
+				}
+			}
+		}
+	}
+
+	// Completion per processor: a rate-1 server fed by the arrival stream.
+	for j := 0; j < m; j++ {
+		var cur float64
+		for _, ev := range arrivals[j] {
+			if ft := float64(ev.t); ft > cur {
+				cur = ft
+			}
+			cur += ev.w
+		}
+		if cur > res.Makespan {
+			res.Makespan = cur
+		}
+	}
+	return res
+}

@@ -1,0 +1,93 @@
+package bucket
+
+// Golden regression test: the six algorithms are deterministic, so their
+// makespans on a fixed subset of the Table 1 suite must never drift.
+// Regenerate testdata/makespans.golden with
+//
+//	go test ./internal/bucket -run TestGoldenMakespans -update
+//
+// after an INTENTIONAL algorithm change, and explain the change in the
+// commit.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ringsched/internal/instance"
+	"ringsched/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenInstances is a fixed, fast subset exercising every regime: point
+// piles, regions, wrap-around, uniform loads, adversary shapes, and sized
+// jobs.
+func goldenInstances() map[string]instance.Instance {
+	pile := make([]int64, 100)
+	pile[0] = 5000
+	region := make([]int64, 60)
+	for i := 0; i < 6; i++ {
+		region[20+i] = 400
+	}
+	uniform := make([]int64, 40)
+	for i := range uniform {
+		uniform[i] = int64((i*37)%50 + 1)
+	}
+	adversar := make([]int64, 120)
+	adversar[0] = 20
+	adversar[1] = 400
+	for i := 2; i < 31; i++ {
+		adversar[i] = 20
+	}
+	wrap := []int64{100, 100, 100, 100, 100}
+	sized := make([][]int64, 30)
+	sized[3] = []int64{50, 20, 20, 5, 5, 5}
+	sized[17] = []int64{30, 30}
+	return map[string]instance.Instance{
+		"pile":      instance.NewUnit(pile),
+		"region":    instance.NewUnit(region),
+		"uniform":   instance.NewUnit(uniform),
+		"adversary": instance.NewUnit(adversar),
+		"wrap":      instance.NewUnit(wrap),
+		"sized":     instance.NewSized(sized),
+	}
+}
+
+func TestGoldenMakespans(t *testing.T) {
+	names := []string{"pile", "region", "uniform", "adversary", "wrap", "sized"}
+	var b strings.Builder
+	for _, name := range names {
+		in := goldenInstances()[name]
+		for _, spec := range allSpecs {
+			res, err := sim.Run(in, spec, sim.Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, spec.Name(), err)
+			}
+			fmt.Fprintf(&b, "%s %s makespan=%d jobhops=%d\n", name, spec.Name(), res.Makespan, res.JobHops)
+		}
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "makespans.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden file updated")
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("algorithm behavior drifted from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,60 @@
+package bucket
+
+import (
+	"fmt"
+
+	"ringsched/internal/instance"
+	"ringsched/internal/sim"
+)
+
+// Reduce implements the §4.3 reductions: a ring whose processors run at
+// integer speed s and whose links take integer transit time tau is
+// equivalent to a unit-speed, unit-transit ring after measuring time in
+// units of tau and expressing job sizes in processing time. A job of size
+// p takes p/(s·tau) of the new time units, so every size must be divisible
+// by s·tau (call Reduce with pre-scaled instances otherwise). Unit-job
+// instances are converted to sized form first.
+//
+// A schedule of length T on the reduced instance corresponds to a schedule
+// of length T·tau on the original ring.
+func Reduce(in instance.Instance, speed, transit int64) (instance.Instance, error) {
+	if speed < 1 || transit < 1 {
+		return instance.Instance{}, fmt.Errorf("bucket: speed %d and transit %d must be >= 1", speed, transit)
+	}
+	div := speed * transit
+	sized := in.ToSized()
+	for i, row := range sized.Sized {
+		for j, p := range row {
+			if p%div != 0 {
+				return instance.Instance{}, fmt.Errorf(
+					"bucket: job size %d on processor %d not divisible by speed*transit = %d", p, i, div)
+			}
+			row[j] = p / div
+		}
+	}
+	return sized, nil
+}
+
+// ScaledResult is a sim.Result whose times have been mapped back to the
+// original ring's time units.
+type ScaledResult struct {
+	sim.Result
+	// Speed and Transit echo the reduction parameters.
+	Speed, Transit int64
+}
+
+// RunScaled schedules in on a ring with the given processor speed and link
+// transit time by reducing to the unit problem (§4.3), running spec on it,
+// and re-scaling the makespan: Makespan is in original time units.
+func RunScaled(in instance.Instance, spec Spec, speed, transit int64, opts sim.Options) (ScaledResult, error) {
+	reduced, err := Reduce(in, speed, transit)
+	if err != nil {
+		return ScaledResult{}, err
+	}
+	res, err := sim.Run(reduced, spec, opts)
+	if err != nil {
+		return ScaledResult{}, err
+	}
+	res.Makespan *= transit
+	return ScaledResult{Result: res, Speed: speed, Transit: transit}, nil
+}

@@ -1,0 +1,259 @@
+package bucket
+
+// Theorem-by-theorem tests for §3–§5: every guarantee the paper states is
+// checked against the exact optimum solver (not just lower bounds)
+// wherever the solver is fast enough.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ringsched/internal/adversary"
+	"ringsched/internal/instance"
+	"ringsched/internal/opt"
+	"ringsched/internal/sim"
+)
+
+func exactOpt(t *testing.T, in instance.Instance) int64 {
+	t.Helper()
+	r := opt.Uncapacitated(in, opt.Limits{})
+	if !r.Exact {
+		t.Fatalf("optimum not exact for %v", in)
+	}
+	return r.Length
+}
+
+// TestTheorem1AgainstExactOptima: the integral algorithm returns schedules
+// of length at most 4.22*OPT (+O(1) for integrality) on a broad family of
+// instances scored with the exact solver.
+func TestTheorem1AgainstExactOptima(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	var worst float64
+	for trial := 0; trial < 40; trial++ {
+		m := 4 + rng.Intn(60)
+		works := make([]int64, m)
+		switch trial % 4 {
+		case 0: // one pile
+			works[rng.Intn(m)] = int64(1 + rng.Intn(3000))
+		case 1: // two piles
+			works[rng.Intn(m)] = int64(1 + rng.Intn(1500))
+			works[rng.Intn(m)] += int64(1 + rng.Intn(1500))
+		case 2: // uniform random
+			for i := range works {
+				works[i] = int64(rng.Intn(80))
+			}
+		case 3: // sparse random
+			for i := range works {
+				if rng.Intn(4) == 0 {
+					works[i] = int64(rng.Intn(400))
+				}
+			}
+		}
+		in := instance.NewUnit(works)
+		optL := exactOpt(t, in)
+		if optL == 0 {
+			continue
+		}
+		for _, spec := range []Spec{C1(), C2()} {
+			res, err := sim.Run(in, spec, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			factor := float64(res.Makespan-2) / float64(optL) // -2: Lemma 6 additive slack
+			if factor > worst {
+				worst = factor
+			}
+			if factor > 4.22 {
+				t.Errorf("%s on %v: factor %.3f breaks Theorem 1 (opt %d, makespan %d)",
+					spec.Name(), works, factor, optL, res.Makespan)
+			}
+		}
+	}
+	t.Logf("worst C1/C2 factor across 40 exact-scored instances: %.3f", worst)
+}
+
+// TestLemma3AdversaryChoice: among instances with the same Lemma 2
+// envelope, x_1 = L maximizes the distance bucket B_1 travels.
+func TestLemma3AdversaryChoice(t *testing.T) {
+	const m, L = 400, 30
+	region := adversary.EvilRegion(m, L)
+
+	travel := func(x1 int64) int {
+		// Build the adversary's tail for W_k = M_k - x1 and measure how
+		// far the fractional bucket from processor 0 travels.
+		works := make([]int64, m)
+		works[0] = x1
+		prev := x1
+		for k := 2; k <= region; k++ {
+			Mk := int64(L*L) + int64(k-1)*L
+			wk := Mk
+			if wk < prev { // cannot remove already-placed work
+				wk = prev
+			}
+			works[k-1] = wk - prev
+			prev = wk
+		}
+		fr := RunFractional(instance.NewUnit(works), C1())
+		return fr.EmptyAt[0]
+	}
+
+	tAtL := travel(L)
+	for _, x1 := range []int64{1, L / 2, 2 * L, L * 4} {
+		if got := travel(x1); got > tAtL {
+			t.Errorf("x1=%d travels %d > %d at x1=L, contradicting Lemma 3", x1, got, tAtL)
+		}
+	}
+}
+
+// TestLemma4TravelBound: on the adversary instance the bucket from the
+// x_1=L processor empties within αL hops, α = 2/c + 1/c² ≈ 1.45.
+func TestLemma4TravelBound(t *testing.T) {
+	for _, L := range []int64{20, 50, 120} {
+		m := 1000
+		in := adversary.Evil(m, L, adversary.EvilRegion(m, L), 0)
+		fr := RunFractional(in, C1())
+		alpha := 2/DefaultC + 1/(DefaultC*DefaultC)
+		limit := int(math.Ceil(alpha*float64(L))) + 2
+		if fr.EmptyAt[0] > limit {
+			t.Errorf("L=%d: bucket travelled %d hops, bound is αL+2 = %d", L, fr.EmptyAt[0], limit)
+		}
+	}
+}
+
+// TestLemma5WrapAround: when a bucket must circle the ring (m <= αL), the
+// schedule is at most 2m + OPT + slack.
+func TestLemma5WrapAround(t *testing.T) {
+	for _, m := range []int{6, 10, 16} {
+		works := make([]int64, m)
+		for i := range works {
+			works[i] = 300 // heavy uniform load forces wrap-around
+		}
+		in := instance.NewUnit(works)
+		optL := exactOpt(t, in) // = 300 (no movement helps)
+		res, err := sim.Run(in, C1(), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan > 2*int64(m)+optL+2 {
+			t.Errorf("m=%d: wrap-around makespan %d > 2m+OPT+2 = %d",
+				m, res.Makespan, 2*int64(m)+optL+2)
+		}
+	}
+}
+
+// TestCorollary2ArbitrarySizes: the §4.2 algorithm is a 5.22-approximation
+// against max(Lemma 1, p_max); we compare against the exact optimum of the
+// unit-job relaxation plus p_max, which lower-bounds the true sized
+// optimum.
+func TestCorollary2ArbitrarySizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20; trial++ {
+		m := 6 + rng.Intn(40)
+		rows := make([][]int64, m)
+		var pmax int64
+		for i := range rows {
+			if rng.Intn(3) != 0 {
+				continue
+			}
+			k := 1 + rng.Intn(20)
+			for j := 0; j < k; j++ {
+				p := int64(1 + rng.Intn(25))
+				rows[i] = append(rows[i], p)
+				if p > pmax {
+					pmax = p
+				}
+			}
+		}
+		in := instance.NewSized(rows)
+		if in.TotalWork() == 0 {
+			continue
+		}
+		// Relax to unit jobs (same work volume): its optimum lower-bounds
+		// the sized optimum.
+		relaxed := exactOpt(t, instance.NewUnit(in.Works()))
+		bound := relaxed
+		if pmax > bound {
+			bound = pmax
+		}
+		for _, spec := range []Spec{C1(), C2()} {
+			res, err := sim.Run(in, spec, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			factor := float64(res.Makespan-1) / float64(bound)
+			if factor > 5.22 {
+				t.Errorf("%s trial %d: sized factor %.3f breaks Corollary 2 (bound %d, makespan %d)",
+					spec.Name(), trial, factor, bound, res.Makespan)
+			}
+		}
+	}
+}
+
+// TestLemma8TwoPileOptimum: the closed form of Lemma 8 agrees with the
+// flow-based exact solver.
+func TestLemma8TwoPileOptimum(t *testing.T) {
+	for _, c := range []struct {
+		W int64
+		z int
+	}{{50, 2}, {100, 5}, {400, 10}, {30, 0}} {
+		closed := adversary.OptimalTwoPiles(c.W, c.z)
+		// Build the instance on a ring wide enough that nothing wraps.
+		m := 4*int(closed) + 2*c.z + 8
+		in := adversary.TwoPiles(m, c.W, c.z, 0)
+		flow := exactOpt(t, in)
+		if flow != closed {
+			t.Errorf("W=%d z=%d: Lemma 8 gives %d, flow solver gives %d", c.W, c.z, closed, flow)
+		}
+	}
+}
+
+// TestTheorem2LowerBoundHolds: on the §5 indistinguishability pair, no
+// implemented algorithm achieves a factor below 1.06 on both instances —
+// consistent with (not a proof of) Theorem 2's impossibility.
+func TestTheorem2LowerBoundHolds(t *testing.T) {
+	I, J, _ := adversary.Section5Pair(40, 0.71)
+	optI := exactOpt(t, I)
+	optJ := exactOpt(t, J)
+	for _, spec := range allSpecs {
+		fI := factorOn(t, I, spec, optI)
+		fJ := factorOn(t, J, spec, optJ)
+		worse := fI
+		if fJ > worse {
+			worse = fJ
+		}
+		if worse < 1.06 {
+			t.Errorf("%s beats the Theorem 2 bound on both I (%.3f) and J (%.3f)",
+				spec.Name(), fI, fJ)
+		}
+	}
+}
+
+func factorOn(t *testing.T, in instance.Instance, spec Spec, optL int64) float64 {
+	t.Helper()
+	res, err := sim.Run(in, spec, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return float64(res.Makespan) / float64(optL)
+}
+
+// TestHeadlineC1WorstCaseRegime: across the paper's own adversary family
+// the C1 factor stays in the regime §6.2 reports (worst observed 2.57 on
+// exactly-scored cases; we allow up to 3.2 to absorb scoring differences).
+func TestHeadlineC1WorstCaseRegime(t *testing.T) {
+	var worst float64
+	for _, L := range []int64{10, 25, 60} {
+		in := adversary.Evil(600, L, adversary.EvilRegion(600, L), 0)
+		optL := exactOpt(t, in)
+		if f := factorOn(t, in, C1(), optL); f > worst {
+			worst = f
+		}
+	}
+	if worst > 3.2 {
+		t.Errorf("C1 adversary factor %.3f outside the paper's observed regime", worst)
+	}
+	if worst < 1.5 {
+		t.Errorf("C1 adversary factor %.3f suspiciously good — adversary broken?", worst)
+	}
+}

@@ -1,0 +1,155 @@
+// Package capring implements the capacitated-ring scheduling algorithm of
+// §7 of the paper (Figure 1), for the model where each link carries at
+// most one job and one control message per time step.
+//
+// The algorithm is purely local: each processor learns its neighbors' job
+// counts with a one-step delay and passes a job to a neighbor only when
+// that neighbor is in danger of idling (its last known count is <= 1) and
+// the sender is rich (more than three jobs after processing). Theorem 3
+// shows this yields schedules of length at most 2L+2 for optimal length L;
+// Lemma 12 shows passing never makes the schedule longer than not passing
+// at all (max_i x_i).
+//
+// One step of processor i (Figure 1 of the paper):
+//
+//	receive messages from neighbors i-1 and i+1 (their job counts)
+//	if j_i != 0, process a job
+//	if j_i > 3 and right <= 1, pass a job to p_{i+1}
+//	if j_i > 3 and left  <= 1, pass a job to p_{i-1}
+//	tell neighbors j_i
+//
+// The paper notes the two messages per link per step (count + job) can be
+// reduced to one; we keep them separate — the capacity constraint of the
+// model is one JOB per link per step, which the engine enforces.
+package capring
+
+import (
+	"ringsched/internal/ring"
+	"ringsched/internal/sim"
+)
+
+// PassThreshold is the queue size above which a processor offers jobs to
+// idle neighbors; Lemma 11(b) shows queues never exceed it after they
+// first drain (the value 3 absorbs the one-step staleness of the counts).
+const PassThreshold = 3
+
+// NeedyThreshold is the neighbor count at or below which the neighbor is
+// "in danger of being idle on the next time step".
+const NeedyThreshold = 1
+
+// Algorithm is the §7 capacitated ring scheduler. The zero value is ready
+// to use.
+type Algorithm struct {
+	// NoPassing disables job passing entirely, yielding the schedule S'
+	// of Lemma 12 (every processor works through its own pile). Used as
+	// the comparison baseline.
+	NoPassing bool
+	// CombinedMessages sends the job count inside the job packet when a
+	// job is passed, realizing the paper's remark that the two messages
+	// per link per step "can be reduced to one". The schedules are
+	// identical (tested); only the message count changes.
+	CombinedMessages bool
+}
+
+var _ sim.Algorithm = Algorithm{}
+
+// Name implements sim.Algorithm.
+func (a Algorithm) Name() string {
+	switch {
+	case a.NoPassing:
+		return "cap-nopass"
+	case a.CombinedMessages:
+		return "cap-1msg"
+	default:
+		return "cap"
+	}
+}
+
+// Options returns the simulator options the algorithm is designed for:
+// unit link capacity.
+func Options() sim.Options { return sim.Options{LinkCapacity: 1} }
+
+// count is the control payload: the sender's job count after its step.
+type count int64
+
+// NewNode implements sim.Algorithm.
+func (a Algorithm) NewNode(local sim.LocalInfo) sim.Node {
+	if local.Sized != nil {
+		panic("capring: the §7 algorithm is defined for unit jobs")
+	}
+	return &node{alg: a, local: local, left: -1, right: -1}
+}
+
+type node struct {
+	alg   Algorithm
+	local sim.LocalInfo
+	// left/right are the last received neighbor counts; -1 = unknown
+	// (treat as not needy, so no passing happens before the first
+	// exchange).
+	left, right int64
+}
+
+// Start deposits the initial pile and announces its size.
+func (n *node) Start(ctx sim.Ctx) {
+	if n.local.Unit > 0 {
+		ctx.Deposit(n.local.Unit)
+	}
+	// The count announced at time 0 is the pile after this step's
+	// processing; Tick sends it, nothing to do here.
+}
+
+// Receive stores neighbor counts and accepts passed jobs.
+func (n *node) Receive(ctx sim.Ctx, p *sim.Packet) {
+	if p.Work > 0 {
+		ctx.Deposit(p.Work)
+	}
+	if c, ok := p.Meta.(count); ok {
+		// A packet travelling clockwise was sent by our counter-clockwise
+		// neighbor (our "left" in paper terms).
+		if p.Dir == ring.Clockwise {
+			n.left = int64(c)
+		} else {
+			n.right = int64(c)
+		}
+	}
+}
+
+// Tick runs after this step's processing: pass to needy neighbors, then
+// announce the resulting count.
+func (n *node) Tick(ctx sim.Ctx) {
+	if n.local.M > 1 {
+		passedCw, passedCcw := false, false
+		if !n.alg.NoPassing {
+			j := ctx.PoolWork()
+			if j > PassThreshold && n.right >= 0 && n.right <= NeedyThreshold {
+				if ctx.Withdraw(1) == 1 {
+					passedCw = true
+					j--
+				}
+			}
+			if j > PassThreshold && n.left >= 0 && n.left <= NeedyThreshold {
+				if ctx.Withdraw(1) == 1 {
+					passedCcw = true
+				}
+			}
+		}
+		// The decisions are fixed; now the count announced is the final
+		// pool. With CombinedMessages, a passed job carries the count
+		// instead of a second packet on the same link.
+		jNow := count(ctx.PoolWork())
+		send := func(dir ring.Direction, passed bool) {
+			if passed {
+				if n.alg.CombinedMessages {
+					ctx.Send(&sim.Packet{Dir: dir, Work: 1, Meta: jNow})
+					return
+				}
+				ctx.Send(&sim.Packet{Dir: dir, Work: 1})
+			}
+			ctx.Send(&sim.Packet{Dir: dir, Meta: jNow})
+		}
+		send(ring.Clockwise, passedCw)
+		send(ring.CounterClockwise, passedCcw)
+	}
+	// Forget the stale counts; fresh ones arrive next step.
+	n.left, n.right = -1, -1
+}

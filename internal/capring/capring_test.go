@@ -1,0 +1,282 @@
+package capring
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringsched/internal/instance"
+	"ringsched/internal/lb"
+	"ringsched/internal/sim"
+)
+
+func maxLoad(works []int64) int64 {
+	var m int64
+	for _, x := range works {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func run(t *testing.T, in instance.Instance, alg Algorithm, record bool) sim.Result {
+	t.Helper()
+	opts := Options()
+	opts.Record = record
+	res, err := sim.Run(in, alg, opts)
+	if err != nil {
+		t.Fatalf("%s on %v: %v", alg.Name(), in, err)
+	}
+	return res
+}
+
+func TestCompletesAllWorkWithinCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(20)
+		works := make([]int64, m)
+		for i := range works {
+			if rng.Intn(2) == 0 {
+				works[i] = int64(rng.Intn(60))
+			}
+		}
+		in := instance.NewUnit(works)
+		res, err := sim.Run(in, Algorithm{}, sim.Options{LinkCapacity: 1, Record: true})
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, works, err)
+		}
+		var done int64
+		for _, p := range res.Processed {
+			done += p
+		}
+		if done != in.TotalWork() {
+			t.Errorf("trial %d: processed %d of %d", trial, done, in.TotalWork())
+		}
+		// Independent audit: link capacity respected, conservation holds.
+		if err := res.Trace.Verify(in); err != nil {
+			t.Errorf("trial %d trace: %v", trial, err)
+		}
+	}
+}
+
+func TestLemma12PassingNeverHurts(t *testing.T) {
+	// S (with passing) is never longer than S' (no passing), whose length
+	// is exactly max_i x_i.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		m := 2 + rng.Intn(15)
+		works := make([]int64, m)
+		for i := range works {
+			works[i] = int64(rng.Intn(100))
+		}
+		in := instance.NewUnit(works)
+		res := run(t, in, Algorithm{}, false)
+		noPass := run(t, in, Algorithm{NoPassing: true}, false)
+		if noPass.Makespan != maxLoad(works) {
+			t.Fatalf("no-pass baseline %d != max load %d", noPass.Makespan, maxLoad(works))
+		}
+		if res.Makespan > noPass.Makespan {
+			t.Errorf("trial %d: passing lengthened schedule %d > %d on %v",
+				trial, res.Makespan, noPass.Makespan, works)
+		}
+	}
+}
+
+func TestNeverBeatsCapacitatedLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(12)
+		works := make([]int64, m)
+		for i := range works {
+			works[i] = int64(rng.Intn(80))
+		}
+		in := instance.NewUnit(works)
+		res := run(t, in, Algorithm{}, false)
+		if bound := lb.Capacitated(in); res.Makespan < bound {
+			t.Errorf("trial %d: makespan %d beats capacitated LB %d on %v",
+				trial, res.Makespan, bound, works)
+		}
+	}
+}
+
+func TestSinglePileSpeedup(t *testing.T) {
+	// One pile of 90 on a long ring: without passing it takes 90; with
+	// passing the pile sheds 2 jobs/step once neighbors drain, heading
+	// toward the ceil(x/3) = 30 bound. Theorem 3 promises <= 2L+2 where
+	// L >= 30.
+	works := make([]int64, 30)
+	works[15] = 90
+	in := instance.NewUnit(works)
+	res := run(t, in, Algorithm{}, false)
+	bound := lb.Capacitated(in) // 30
+	if res.Makespan > 2*bound+2 {
+		t.Errorf("makespan %d exceeds 2L+2 with L=%d", res.Makespan, bound)
+	}
+	if res.Makespan >= 90 {
+		t.Errorf("passing gave no speedup: %d", res.Makespan)
+	}
+}
+
+func TestTheorem3OnAdversarialShapes(t *testing.T) {
+	// 2L+2 against the certified lower bound on a batch of stress shapes.
+	shapes := [][]int64{
+		{100, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		{50, 50, 0, 0, 0, 0, 0, 0, 0, 0},
+		{40, 0, 40, 0, 40, 0, 40, 0, 40, 0},
+		{99, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+		{10, 10, 10, 10, 10, 10},
+		{200, 0, 0, 200},
+	}
+	for _, works := range shapes {
+		in := instance.NewUnit(works)
+		res := run(t, in, Algorithm{}, false)
+		bound := lb.Capacitated(in)
+		if res.Makespan > 2*bound+2 {
+			t.Errorf("makespan %d > 2*%d+2 on %v", res.Makespan, bound, works)
+		}
+	}
+}
+
+func TestLemma11QueueBoundAfterFirstDrain(t *testing.T) {
+	// Part (b): once a processor's queue first drops to <= 1, it never
+	// exceeds 3 afterwards. Reconstruct queue levels from the trace.
+	works := make([]int64, 12)
+	works[3] = 120
+	works[9] = 40
+	in := instance.NewUnit(works)
+	res := run(t, in, Algorithm{}, true)
+
+	level := make([]int64, in.M)
+	drained := make([]bool, in.M)
+	// Events are appended in execution order, so a single pass replays
+	// the run. Within a step: deposits (receive phase), then process,
+	// then withdraws — matching the engine loop.
+	for _, ev := range res.Trace.Events {
+		switch ev.Kind {
+		case sim.EvDeposit:
+			level[ev.Proc] += ev.Amount
+		case sim.EvProcess:
+			level[ev.Proc] -= ev.Amount
+		case sim.EvWithdraw:
+			level[ev.Proc] -= ev.Amount
+		default:
+			continue
+		}
+		if level[ev.Proc] <= 1 {
+			drained[ev.Proc] = true
+		}
+		if drained[ev.Proc] && level[ev.Proc] > PassThreshold {
+			t.Fatalf("processor %d reached queue %d after draining (t=%d)",
+				ev.Proc, level[ev.Proc], ev.T)
+		}
+	}
+}
+
+func TestReceiversGetWorkOnlyWhenDrained(t *testing.T) {
+	// Lemma 11(a): a processor receives no jobs before its queue first
+	// drops to <= 1.
+	works := make([]int64, 8)
+	works[0] = 60
+	works[1] = 20
+	in := instance.NewUnit(works)
+	res := run(t, in, Algorithm{}, true)
+
+	level := make([]int64, in.M)
+	everDrained := make([]bool, in.M)
+	seeded := make([]bool, in.M)
+	for _, ev := range res.Trace.Events {
+		switch ev.Kind {
+		case sim.EvDeposit:
+			if ev.T == 0 && !seeded[ev.Proc] {
+				seeded[ev.Proc] = true // initial pile, not a received job
+			} else if !everDrained[ev.Proc] && level[ev.Proc] > 1 {
+				t.Fatalf("processor %d received work at t=%d with queue %d before draining",
+					ev.Proc, ev.T, level[ev.Proc])
+			}
+			level[ev.Proc] += ev.Amount
+		case sim.EvProcess, sim.EvWithdraw:
+			level[ev.Proc] -= ev.Amount
+		}
+		if level[ev.Proc] <= 1 {
+			everDrained[ev.Proc] = true
+		}
+	}
+}
+
+func TestSizedInstanceRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sized instance accepted")
+		}
+	}()
+	(Algorithm{}).NewNode(sim.LocalInfo{M: 2, Sized: []int64{2}, SizedRun: true})
+}
+
+func TestSingleProcessor(t *testing.T) {
+	res := run(t, instance.NewUnit([]int64{9}), Algorithm{}, false)
+	if res.Makespan != 9 {
+		t.Errorf("m=1 makespan = %d", res.Makespan)
+	}
+}
+
+func TestTwoProcessors(t *testing.T) {
+	in := instance.NewUnit([]int64{30, 0})
+	res := run(t, in, Algorithm{}, false)
+	// L >= ceil(30/3) = 10... on a 2-ring both links connect the same
+	// pair, so roughly: process 1 + ship 2 per step gives ~2x speedup.
+	if res.Makespan >= 30 {
+		t.Errorf("no speedup on 2-ring: %d", res.Makespan)
+	}
+	if res.Makespan < 10 {
+		t.Errorf("impossible makespan %d", res.Makespan)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Algorithm{}).Name() != "cap" || (Algorithm{NoPassing: true}).Name() != "cap-nopass" {
+		t.Error("names wrong")
+	}
+	if Options().LinkCapacity != 1 {
+		t.Error("Options should set unit capacity")
+	}
+}
+
+func TestCombinedMessagesSameSchedule(t *testing.T) {
+	// The paper's "reduce two messages to one" remark: identical
+	// schedules, strictly fewer packets.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 15; trial++ {
+		m := 2 + rng.Intn(14)
+		works := make([]int64, m)
+		for i := range works {
+			works[i] = int64(rng.Intn(90))
+		}
+		in := instance.NewUnit(works)
+		two := run(t, in, Algorithm{}, false)
+		one := run(t, in, Algorithm{CombinedMessages: true}, false)
+		if two.Makespan != one.Makespan {
+			t.Errorf("trial %d: makespan %d (2msg) != %d (1msg) on %v",
+				trial, two.Makespan, one.Makespan, works)
+		}
+		if one.Messages > two.Messages {
+			t.Errorf("trial %d: combined variant sent MORE packets (%d > %d)",
+				trial, one.Messages, two.Messages)
+		}
+	}
+}
+
+func TestCombinedMessagesRespectsCapacity(t *testing.T) {
+	works := make([]int64, 10)
+	works[5] = 80
+	in := instance.NewUnit(works)
+	res, err := sim.Run(in, Algorithm{CombinedMessages: true}, sim.Options{LinkCapacity: 1, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Verify(in); err != nil {
+		t.Errorf("combined trace: %v", err)
+	}
+	if (Algorithm{CombinedMessages: true}).Name() != "cap-1msg" {
+		t.Error("name wrong")
+	}
+}

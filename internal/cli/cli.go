@@ -1,0 +1,73 @@
+// Package cli holds the instance-loading logic shared by the command-line
+// tools (ringsched, ringopt): an instance can come from a JSON file, an
+// inline load vector, or a named Table 1 case.
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ringsched/internal/instance"
+	"ringsched/internal/workload"
+)
+
+// ParseLoads parses a comma-separated unit-load vector like "100,0,0,25".
+func ParseLoads(loads string) (instance.Instance, error) {
+	parts := strings.Split(loads, ",")
+	works := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return instance.Instance{}, fmt.Errorf("bad load %q: %v", p, err)
+		}
+		works[i] = v
+	}
+	in := instance.NewUnit(works)
+	if err := in.Validate(); err != nil {
+		return instance.Instance{}, err
+	}
+	return in, nil
+}
+
+// ReadFile loads an instance from a JSON file produced by ringgen or
+// instance.MarshalJSON.
+func ReadFile(path string) (instance.Instance, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return instance.Instance{}, err
+	}
+	var in instance.Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		return instance.Instance{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return in, nil
+}
+
+// LoadInstance resolves exactly one of (file, loads, caseID) into an
+// instance, mirroring the -in/-loads/-case flags of the tools.
+func LoadInstance(file, loads, caseID string) (instance.Instance, error) {
+	set := 0
+	for _, s := range []string{file, loads, caseID} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return instance.Instance{}, fmt.Errorf("specify exactly one of -in, -loads, -case")
+	}
+	switch {
+	case file != "":
+		return ReadFile(file)
+	case loads != "":
+		return ParseLoads(loads)
+	default:
+		c, err := workload.ByID(caseID)
+		if err != nil {
+			return instance.Instance{}, err
+		}
+		return c.In, nil
+	}
+}

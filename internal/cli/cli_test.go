@@ -1,0 +1,82 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ringsched/internal/instance"
+)
+
+func TestParseLoads(t *testing.T) {
+	in, err := ParseLoads("100, 0,0,25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.M != 4 || in.Unit[0] != 100 || in.Unit[3] != 25 {
+		t.Errorf("parsed %v", in.Unit)
+	}
+	for _, bad := range []string{"", "a,b", "1,,2", "1,-5"} {
+		if _, err := ParseLoads(bad); err == nil {
+			t.Errorf("ParseLoads(%q) accepted", bad)
+		}
+	}
+}
+
+func TestReadFileRoundTrip(t *testing.T) {
+	in := instance.NewSized([][]int64{{3, 4}, {}})
+	data, err := in.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalWork() != 7 || back.IsUnit() {
+		t.Errorf("round trip gave %v", back)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(badPath, []byte("{"), 0o644) //nolint:errcheck
+	if _, err := ReadFile(badPath); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}
+
+func TestLoadInstanceDispatch(t *testing.T) {
+	// Exactly one selector required.
+	if _, err := LoadInstance("", "", ""); err == nil {
+		t.Error("no selector accepted")
+	}
+	if _, err := LoadInstance("f", "1,2", ""); err == nil {
+		t.Error("two selectors accepted")
+	}
+	// Loads path.
+	in, err := LoadInstance("", "5,5", "")
+	if err != nil || in.M != 2 {
+		t.Errorf("loads dispatch: %v %v", in, err)
+	}
+	// Case path.
+	in, err = LoadInstance("", "", "III-m100-L10")
+	if err != nil || in.M != 100 {
+		t.Errorf("case dispatch: %v %v", in, err)
+	}
+	if _, err := LoadInstance("", "", "junk-case"); err == nil {
+		t.Error("junk case accepted")
+	}
+	// File path.
+	path := filepath.Join(t.TempDir(), "i.json")
+	data, _ := instance.NewUnit([]int64{1, 2}).MarshalJSON()
+	os.WriteFile(path, data, 0o644) //nolint:errcheck
+	in, err = LoadInstance(path, "", "")
+	if err != nil || in.TotalWork() != 3 {
+		t.Errorf("file dispatch: %v %v", in, err)
+	}
+}

@@ -1,0 +1,23 @@
+package cli
+
+import "testing"
+
+// FuzzParseLoads checks the inline load parser never panics and that
+// accepted inputs yield valid instances.
+func FuzzParseLoads(f *testing.F) {
+	f.Add("100,0,0,25")
+	f.Add("")
+	f.Add("-1")
+	f.Add("1,,2")
+	f.Add(" 7 , 8 ")
+	f.Add("9223372036854775807,1")
+	f.Fuzz(func(t *testing.T, s string) {
+		in, err := ParseLoads(s)
+		if err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("ParseLoads(%q) produced invalid instance: %v", s, err)
+		}
+	})
+}

@@ -1,0 +1,220 @@
+// Package dist is a concurrent runtime for the ring scheduling algorithms:
+// one goroutine per processor, channels as links, and a barrier per time
+// step (a BSP-style lockstep execution of the §2 model).
+//
+// The sequential engine in internal/sim is what the experiments use — it
+// is deterministic and fast. This package demonstrates the claim the
+// paper's algorithms are designed around: every processor runs with
+// strictly local state and communicates only with its ring neighbors, so
+// the programs map directly onto truly concurrent executors. The same
+// sim.Node programs run unmodified here, and the equivalence tests in this
+// package check that both runtimes produce identical schedules.
+//
+// Concurrency structure: each processor goroutine owns its node, pool and
+// neighbor channels. A step has two phases, separated by barriers:
+//
+//  1. exchange: read every packet the neighbors sent last step, run the
+//     Node callbacks (Start/Receive), process one unit of work, run Tick;
+//     sends buffer locally.
+//  2. flush: push buffered packets into the neighbor channels (capacity
+//     is bounded, but a full step's traffic always fits because each
+//     processor sends a bounded number of packets per step per link —
+//     the channels are sized generously and flushing cannot deadlock
+//     because every goroutine drains its inbox before the next flush).
+//
+// The coordinator detects quiescence (no pool work, no in-flight payload)
+// via per-step aggregate counters and stops all goroutines.
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"ringsched/internal/instance"
+	"ringsched/internal/sim"
+)
+
+// Result summarizes a concurrent run. The fields mirror sim.Result.
+type Result struct {
+	Algorithm string
+	Makespan  int64
+	Steps     int64
+	Processed []int64
+	JobHops   int64
+	Messages  int64
+}
+
+// MaxStepsDefault guards against non-quiescing algorithms.
+const MaxStepsDefault = 1 << 22
+
+// Options configure a concurrent run.
+type Options struct {
+	MaxSteps int64
+}
+
+// Run executes alg on in with one goroutine per processor and returns the
+// aggregate result. It is deterministic: although processors run
+// concurrently within a step, packet handling order within a step is
+// normalized (clockwise arrivals before counter-clockwise, matching
+// internal/sim).
+func Run(in instance.Instance, alg sim.Algorithm, opts Options) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	m := in.M
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 8*(in.TotalWork()+int64(m)) + 64
+		if maxSteps > MaxStepsDefault {
+			maxSteps = MaxStepsDefault
+		}
+	}
+
+	// shim adapts the sim.Ctx surface for nodes running outside the
+	// sequential engine. We reuse internal/sim's Node programs by driving
+	// them through a local harness per processor.
+	procs := make([]*proc, m)
+	for i := 0; i < m; i++ {
+		local := sim.LocalInfo{M: m, Index: i, SizedRun: !in.IsUnit()}
+		if in.IsUnit() {
+			local.Unit = in.Unit[i]
+		} else {
+			local.Sized = append([]int64(nil), in.Sized[i]...)
+		}
+		procs[i] = newProc(i, m, alg.NewNode(local))
+	}
+	// Wire neighbor channels: generous buffers — a processor sends at
+	// most a handful of packets per link per step.
+	for i := 0; i < m; i++ {
+		procs[i].cwOut = procs[(i+1)%m].cwIn
+		procs[i].ccwOut = procs[(i-1+m)%m].ccwIn
+	}
+
+	var (
+		wg       sync.WaitGroup
+		barrier  = newBarrier(m)
+		statusMu sync.Mutex
+		busyWork int64 // pool work + payload in flight, aggregated per step
+		lastBusy int64
+		makespan int64
+		steps    int64
+		jobHops  int64
+		messages int64
+		failure  error
+	)
+
+	stop := make(chan struct{})
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(p *proc) {
+			defer wg.Done()
+			for t := int64(0); ; t++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Phase 1: receive + act + process.
+				err := p.step(t)
+
+				statusMu.Lock()
+				if err != nil && failure == nil {
+					failure = err
+				}
+				busyWork += p.poolWork() + p.outboundPayload()
+				if p.processedThisStep {
+					if t+1 > makespan {
+						makespan = t + 1
+					}
+				}
+				jobHops += p.hopsThisStep
+				messages += p.messagesThisStep
+				statusMu.Unlock()
+
+				// Barrier A: everyone finished acting; aggregate decided.
+				if done := barrier.wait(func() bool {
+					statusMu.Lock()
+					defer statusMu.Unlock()
+					lastBusy = busyWork
+					busyWork = 0
+					steps = t + 1
+					return lastBusy == 0 || failure != nil || t >= maxSteps
+				}); done {
+					return
+				}
+
+				// Phase 2: flush sends so they arrive next step.
+				p.flush()
+
+				// Barrier B: all packets delivered before the next step.
+				if barrier.wait(nil) {
+					return
+				}
+			}
+		}(procs[i])
+	}
+	wg.Wait()
+	close(stop)
+
+	res := Result{
+		Algorithm: alg.Name(),
+		Makespan:  makespan,
+		Steps:     steps,
+		JobHops:   jobHops,
+		Messages:  messages,
+		Processed: make([]int64, m),
+	}
+	for i, p := range procs {
+		res.Processed[i] = p.processedTotal
+	}
+	if failure != nil {
+		return res, failure
+	}
+	if lastBusy != 0 {
+		return res, fmt.Errorf("dist: did not quiesce within %d steps (alg=%s)", maxSteps, alg.Name())
+	}
+	return res, nil
+}
+
+// barrier is a reusable m-party barrier whose last arriver may run a
+// decision function; when it returns true, every waiter unblocks with
+// "done" and the barrier shuts down.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+	done  bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n parties arrive. decide (may be nil) runs once on
+// the last arriver; returning true terminates the whole computation.
+func (b *barrier) wait(decide func() bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		return true
+	}
+	b.count++
+	if b.count == b.n {
+		if decide != nil && decide() {
+			b.done = true
+		}
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		return b.done
+	}
+	phase := b.phase
+	for phase == b.phase && !b.done {
+		b.cond.Wait()
+	}
+	return b.done
+}

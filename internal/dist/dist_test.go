@@ -1,0 +1,243 @@
+package dist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ringsched/internal/bucket"
+	"ringsched/internal/capring"
+	"ringsched/internal/instance"
+	"ringsched/internal/sim"
+)
+
+// TestEquivalenceWithSequentialEngine is the core property: the same Node
+// programs produce the same schedule on the concurrent goroutine runtime
+// as on the deterministic sequential engine.
+func TestEquivalenceWithSequentialEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	specs := []sim.Algorithm{
+		bucket.A1(), bucket.B1(), bucket.C1(),
+		bucket.A2(), bucket.B2(), bucket.C2(),
+	}
+	for trial := 0; trial < 8; trial++ {
+		m := 2 + rng.Intn(20)
+		works := make([]int64, m)
+		for i := range works {
+			if rng.Intn(2) == 0 {
+				works[i] = int64(rng.Intn(120))
+			}
+		}
+		in := instance.NewUnit(works)
+		for _, alg := range specs {
+			seq, err := sim.Run(in, alg, sim.Options{})
+			if err != nil {
+				t.Fatalf("sim %s: %v", alg.Name(), err)
+			}
+			con, err := Run(in, alg, Options{})
+			if err != nil {
+				t.Fatalf("dist %s on %v: %v", alg.Name(), works, err)
+			}
+			if con.Makespan != seq.Makespan {
+				t.Errorf("%s on %v: dist makespan %d != sim %d",
+					alg.Name(), works, con.Makespan, seq.Makespan)
+			}
+			if con.JobHops != seq.JobHops {
+				t.Errorf("%s on %v: dist hops %d != sim %d",
+					alg.Name(), works, con.JobHops, seq.JobHops)
+			}
+			for i := range seq.Processed {
+				if con.Processed[i] != seq.Processed[i] {
+					t.Errorf("%s on %v: Processed[%d] dist %d != sim %d",
+						alg.Name(), works, i, con.Processed[i], seq.Processed[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestEquivalenceCapacitated(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 6; trial++ {
+		m := 2 + rng.Intn(12)
+		works := make([]int64, m)
+		for i := range works {
+			works[i] = int64(rng.Intn(60))
+		}
+		in := instance.NewUnit(works)
+		seq, err := sim.Run(in, capring.Algorithm{}, capring.Options())
+		if err != nil {
+			t.Fatal(err)
+		}
+		con, err := Run(in, capring.Algorithm{}, Options{})
+		if err != nil {
+			t.Fatalf("dist capring on %v: %v", works, err)
+		}
+		if con.Makespan != seq.Makespan {
+			t.Errorf("capring on %v: dist %d != sim %d", works, con.Makespan, seq.Makespan)
+		}
+	}
+}
+
+func TestEquivalenceSizedJobs(t *testing.T) {
+	in := instance.NewSized([][]int64{
+		{20, 3, 3}, {}, {7}, {}, {1, 1, 1, 1}, {}, {}, {12},
+	})
+	for _, alg := range []sim.Algorithm{bucket.C1(), bucket.C2()} {
+		seq, err := sim.Run(in, alg, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		con, err := Run(in, alg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if con.Makespan != seq.Makespan {
+			t.Errorf("%s sized: dist %d != sim %d", alg.Name(), con.Makespan, seq.Makespan)
+		}
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	res, err := Run(instance.NewUnit([]int64{5}), bucket.C1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 5 {
+		t.Errorf("m=1 makespan = %d", res.Makespan)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	res, err := Run(instance.Empty(7), bucket.C1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 0 {
+		t.Errorf("empty makespan = %d", res.Makespan)
+	}
+}
+
+func TestInvalidInstance(t *testing.T) {
+	if _, err := Run(instance.Instance{M: 3}, bucket.C1(), Options{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+// spinAlg never quiesces; the MaxSteps guard must fire.
+type spinAlg struct{}
+
+func (spinAlg) Name() string                         { return "spin" }
+func (spinAlg) NewNode(local sim.LocalInfo) sim.Node { return &spinNode{local} }
+
+type spinNode struct{ local sim.LocalInfo }
+
+func (n *spinNode) Start(ctx sim.Ctx) {
+	if n.local.Unit > 0 {
+		ctx.Send(&sim.Packet{Dir: 1, Work: n.local.Unit})
+	}
+}
+func (n *spinNode) Receive(ctx sim.Ctx, p *sim.Packet) { ctx.Send(p) }
+func (n *spinNode) Tick(ctx sim.Ctx)                   {}
+
+func TestMaxStepsGuard(t *testing.T) {
+	_, err := Run(instance.NewUnit([]int64{1, 0, 0}), spinAlg{}, Options{MaxSteps: 40})
+	if err == nil || !strings.Contains(err.Error(), "quiesce") {
+		t.Errorf("runaway not detected: %v", err)
+	}
+}
+
+// panicAlg panics inside a node callback; the runtime must surface it as
+// an error instead of crashing the process.
+type panicAlg struct{}
+
+func (panicAlg) Name() string                         { return "panic" }
+func (panicAlg) NewNode(local sim.LocalInfo) sim.Node { return panicNode{} }
+
+type panicNode struct{}
+
+func (panicNode) Start(ctx sim.Ctx)                  { panic("boom") }
+func (panicNode) Receive(ctx sim.Ctx, p *sim.Packet) {}
+func (panicNode) Tick(ctx sim.Ctx)                   {}
+
+func TestNodePanicSurfacedAsError(t *testing.T) {
+	_, err := Run(instance.NewUnit([]int64{3, 0}), panicAlg{}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("panic not surfaced: %v", err)
+	}
+}
+
+func TestLargeRingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large ring in -short mode")
+	}
+	works := make([]int64, 500)
+	works[250] = 20000
+	in := instance.NewUnit(works)
+	seq, err := sim.Run(in, bucket.C2(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	con, err := Run(in, bucket.C2(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if con.Makespan != seq.Makespan {
+		t.Errorf("large ring: dist %d != sim %d", con.Makespan, seq.Makespan)
+	}
+}
+
+func TestBarrierReuse(t *testing.T) {
+	// The internal barrier must be reusable across many phases without
+	// losing waiters; exercise it directly with heavy contention.
+	const parties = 16
+	b := newBarrier(parties)
+	doneCh := make(chan bool, parties)
+	rounds := 0 // guarded by the barrier's own mutex (decide runs under it)
+	for i := 0; i < parties; i++ {
+		go func() {
+			for !b.wait(func() bool {
+				rounds++ // only the last arriver's closure runs
+				return rounds >= 100
+			}) {
+			}
+			doneCh <- true
+		}()
+	}
+	for i := 0; i < parties; i++ {
+		<-doneCh
+	}
+	if rounds != 100 {
+		t.Errorf("barrier ran %d decide rounds, want 100", rounds)
+	}
+}
+
+// floodAlg sends more packets per link per step than the channel buffer
+// holds; the runtime must fail loudly instead of deadlocking the flush.
+type floodAlg struct{}
+
+func (floodAlg) Name() string                         { return "flood" }
+func (floodAlg) NewNode(local sim.LocalInfo) sim.Node { return floodNode{local} }
+
+type floodNode struct{ local sim.LocalInfo }
+
+func (n floodNode) Start(ctx sim.Ctx) {
+	for i := int64(0); i < n.local.Unit; i++ {
+		ctx.Send(&sim.Packet{Dir: 1, Work: 1})
+	}
+}
+func (n floodNode) Receive(ctx sim.Ctx, p *sim.Packet) { ctx.Deposit(p.Work) }
+func (n floodNode) Tick(ctx sim.Ctx)                   {}
+
+func TestSendVolumeGuard(t *testing.T) {
+	// Under the cap: fine.
+	if _, err := Run(instance.NewUnit([]int64{10, 0}), floodAlg{}, Options{}); err != nil {
+		t.Fatalf("small flood failed: %v", err)
+	}
+	// Over the cap: surfaced as an error (panic caught per processor).
+	_, err := Run(instance.NewUnit([]int64{1000, 0}), floodAlg{}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "chanCap") {
+		t.Errorf("flood not rejected: %v", err)
+	}
+}

@@ -1,0 +1,205 @@
+package dist
+
+import (
+	"fmt"
+
+	"ringsched/internal/ring"
+	"ringsched/internal/sim"
+)
+
+// chanCap bounds per-link per-step traffic. The bucket algorithms send at
+// most one bucket per link per step and the capacitated algorithm one job
+// plus one control message; 256 leaves lots of headroom for user-defined
+// algorithms.
+const chanCap = 256
+
+// proc is one processor goroutine's state.
+type proc struct {
+	index int
+	m     int
+	node  sim.Node
+
+	// Inbound links (owned by this proc): packets travelling clockwise
+	// arrive on cwIn, counter-clockwise on ccwIn.
+	cwIn  chan *sim.Packet
+	ccwIn chan *sim.Packet
+	// Outbound links (aliases of the neighbors' inbound channels).
+	cwOut  chan *sim.Packet
+	ccwOut chan *sim.Packet
+
+	// Local pool (mirrors internal/sim's pool semantics).
+	unit      int64
+	jobs      []int64
+	remaining int64
+	total     int64
+
+	// Per-step send buffers, flushed after the step barrier.
+	outCw, outCcw []*sim.Packet
+
+	// Metrics.
+	processedTotal    int64
+	processedThisStep bool
+	hopsThisStep      int64
+	messagesThisStep  int64
+
+	err error
+}
+
+func newProc(index, m int, node sim.Node) *proc {
+	return &proc{
+		index: index,
+		m:     m,
+		node:  node,
+		cwIn:  make(chan *sim.Packet, chanCap),
+		ccwIn: make(chan *sim.Packet, chanCap),
+	}
+}
+
+func (p *proc) poolWork() int64 { return p.total }
+
+func (p *proc) outboundPayload() int64 {
+	var w int64
+	for _, pkt := range p.outCw {
+		w += pkt.Work
+		for _, s := range pkt.Jobs {
+			w += s
+		}
+	}
+	for _, pkt := range p.outCcw {
+		w += pkt.Work
+		for _, s := range pkt.Jobs {
+			w += s
+		}
+	}
+	return w
+}
+
+// step executes phase 1 of step t: receive, act, process, tick.
+func (p *proc) step(t int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("dist: processor %d panicked at t=%d: %v", p.index, t, r)
+		}
+	}()
+	p.processedThisStep = false
+	p.hopsThisStep = 0
+	p.messagesThisStep = 0
+	ctx := &distCtx{p: p, now: t}
+
+	if t == 0 {
+		p.node.Start(ctx)
+	} else {
+		// Drain clockwise arrivals first, then counter-clockwise,
+		// matching the sequential engine's delivery order.
+		for _, ch := range []chan *sim.Packet{p.cwIn, p.ccwIn} {
+			for {
+				select {
+				case pkt := <-ch:
+					p.messagesThisStep++
+					p.node.Receive(ctx, pkt)
+				default:
+					goto drained
+				}
+			}
+		drained:
+		}
+	}
+
+	// Process one unit of work.
+	switch {
+	case p.remaining > 0:
+		p.remaining--
+		p.total--
+		p.processedThisStep = true
+	case len(p.jobs) > 0:
+		p.remaining = p.jobs[0] - 1
+		p.jobs = p.jobs[1:]
+		p.total--
+		p.processedThisStep = true
+	case p.unit > 0:
+		p.unit--
+		p.total--
+		p.processedThisStep = true
+	}
+	if p.processedThisStep {
+		p.processedTotal++
+	}
+
+	p.node.Tick(ctx)
+
+	// Job-hop accounting for everything sent this step.
+	p.hopsThisStep = p.outboundPayload()
+	return nil
+}
+
+// flush pushes the buffered sends into the neighbor channels (phase 2).
+func (p *proc) flush() {
+	for _, pkt := range p.outCw {
+		p.cwOut <- pkt
+	}
+	for _, pkt := range p.outCcw {
+		p.ccwOut <- pkt
+	}
+	p.outCw = p.outCw[:0]
+	p.outCcw = p.outCcw[:0]
+}
+
+// distCtx implements sim.Ctx on top of a proc.
+type distCtx struct {
+	p   *proc
+	now int64
+}
+
+var _ sim.Ctx = (*distCtx)(nil)
+
+func (c *distCtx) Me() int         { return c.p.index }
+func (c *distCtx) Now() int64      { return c.now }
+func (c *distCtx) M() int          { return c.p.m }
+func (c *distCtx) PoolWork() int64 { return c.p.total }
+
+func (c *distCtx) Deposit(work int64) {
+	if work < 0 {
+		panic("dist: negative deposit")
+	}
+	c.p.unit += work
+	c.p.total += work
+}
+
+func (c *distCtx) DepositJob(size int64) {
+	if size <= 0 {
+		panic("dist: non-positive job size")
+	}
+	c.p.jobs = append(c.p.jobs, size)
+	c.p.total += size
+}
+
+func (c *distCtx) Withdraw(n int64) int64 {
+	if n > c.p.unit {
+		n = c.p.unit
+	}
+	if n < 0 {
+		n = 0
+	}
+	c.p.unit -= n
+	c.p.total -= n
+	return n
+}
+
+func (c *distCtx) Send(pkt *sim.Packet) {
+	sim.CheckPacket(pkt)
+	// A send volume beyond the link channel's buffer would deadlock the
+	// flush phase (both neighbors blocked pushing). No realistic
+	// algorithm sends hundreds of packets per link per step, so treat it
+	// as a programming error rather than sizing channels dynamically.
+	if pkt.Dir == ring.Clockwise {
+		if len(c.p.outCw) >= chanCap {
+			panic("dist: more than chanCap packets sent on one link in one step")
+		}
+		c.p.outCw = append(c.p.outCw, pkt)
+	} else {
+		if len(c.p.outCcw) >= chanCap {
+			panic("dist: more than chanCap packets sent on one link in one step")
+		}
+		c.p.outCcw = append(c.p.outCcw, pkt)
+	}
+}

@@ -1,0 +1,104 @@
+// Package doubling is a comparison baseline: a simplified rendition of
+// the doubling-neighborhood load-balancing strategy behind Awerbuch,
+// Kutten and Peleg's general-network job scheduler (the paper's reference
+// [4]). §1 of the paper claims the ring-specialized bucket algorithms
+// beat "the application of their general approach to the ring"; this
+// package lets the repository measure that claim.
+//
+// The rendition is deliberately GENEROUS to the baseline: in phase k the
+// ring is split into aligned blocks of 2^k processors; the phase lasts
+// 2·2^k steps (gather + scatter latency across the block), processors
+// keep processing throughout, and at the end of the phase the remaining
+// work inside each block teleports to an even split — free of charge. A
+// real distributed implementation could only be slower. Even so, the
+// fixed aligned blocks and the doubling latency leave it well behind the
+// paper's algorithms on concentrated instances (see the comparison test
+// and benchmark), which is exactly the paper's point.
+package doubling
+
+import (
+	"ringsched/internal/instance"
+)
+
+// Result reports a baseline run.
+type Result struct {
+	Makespan  int64
+	Phases    int
+	Processed []int64
+}
+
+// Run executes the doubling baseline on a unit-job instance. Phase k
+// (k = 0, 1, ..., ceil(log2 m)) lasts 2*2^k steps; at its end, each
+// aligned block of 2^k processors evens out its remaining work (the
+// block's unprocessed jobs are redistributed as evenly as possible).
+// After the last phase processors drain whatever remains.
+func Run(in instance.Instance) Result {
+	if !in.IsUnit() {
+		panic("doubling: baseline is defined for unit jobs")
+	}
+	m := in.M
+	pool := append([]int64(nil), in.Unit...)
+	res := Result{Processed: make([]int64, m)}
+
+	var now int64
+	processFor := func(steps int64) {
+		for s := int64(0); s < steps; s++ {
+			busy := false
+			for i := 0; i < m; i++ {
+				if pool[i] > 0 {
+					pool[i]--
+					res.Processed[i]++
+					busy = true
+				}
+			}
+			now++
+			if busy {
+				res.Makespan = now
+			}
+		}
+	}
+	remaining := func() int64 {
+		var r int64
+		for _, p := range pool {
+			r += p
+		}
+		return r
+	}
+
+	for size := 1; ; size *= 2 {
+		if size > m {
+			size = m
+		}
+		res.Phases++
+		// The phase runs for gather+scatter latency while processing
+		// continues.
+		processFor(2 * int64(size))
+		// End of phase: even out each aligned block, generously for free.
+		for start := 0; start < m; start += size {
+			end := start + size
+			if end > m {
+				end = m
+			}
+			var total int64
+			for i := start; i < end; i++ {
+				total += pool[i]
+			}
+			n := int64(end - start)
+			q, r := total/n, total%n
+			for i := start; i < end; i++ {
+				pool[i] = q
+				if int64(i-start) < r {
+					pool[i]++
+				}
+			}
+		}
+		if size == m {
+			break
+		}
+	}
+	// Drain.
+	for remaining() > 0 {
+		processFor(1)
+	}
+	return res
+}

@@ -1,0 +1,97 @@
+package doubling
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringsched/internal/bucket"
+	"ringsched/internal/instance"
+	"ringsched/internal/lb"
+	"ringsched/internal/opt"
+	"ringsched/internal/sim"
+)
+
+func TestCompletesAllWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(40)
+		works := make([]int64, m)
+		for i := range works {
+			works[i] = int64(rng.Intn(100))
+		}
+		in := instance.NewUnit(works)
+		res := Run(in)
+		var done int64
+		for _, p := range res.Processed {
+			done += p
+		}
+		if done != in.TotalWork() {
+			t.Fatalf("trial %d: processed %d of %d", trial, done, in.TotalWork())
+		}
+	}
+}
+
+func TestNeverBeatsLowerBound(t *testing.T) {
+	// The baseline is generous (free intra-block teleports at phase
+	// ends), so it can undercut distance-based bounds — but never the
+	// average bound, and on single piles never sqrt(W) either, because
+	// phase k's teleports only reach 2^k processors after ~2*2^k steps.
+	works := make([]int64, 64)
+	works[0] = 4096
+	in := instance.NewUnit(works)
+	res := Run(in)
+	if avg := lb.AverageBound(in); res.Makespan < avg {
+		t.Errorf("baseline %d beat the average bound %d", res.Makespan, avg)
+	}
+}
+
+func TestEmptyAndTrivial(t *testing.T) {
+	res := Run(instance.Empty(8))
+	if res.Makespan != 0 {
+		t.Errorf("empty makespan %d", res.Makespan)
+	}
+	res = Run(instance.NewUnit([]int64{5}))
+	if res.Makespan != 5 {
+		t.Errorf("m=1 makespan %d", res.Makespan)
+	}
+}
+
+func TestSizedRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sized instance accepted")
+		}
+	}()
+	Run(instance.NewSized([][]int64{{2}}))
+}
+
+// TestPaperClaimRingAlgorithmsBeatDoubling reproduces §1's comparison:
+// the ring-specialized algorithms outperform the general doubling
+// approach, despite the baseline getting free intra-block moves.
+func TestPaperClaimRingAlgorithmsBeatDoubling(t *testing.T) {
+	piles := []int64{1000, 10000, 100000}
+	for _, W := range piles {
+		works := make([]int64, 1024)
+		works[512] = W
+		in := instance.NewUnit(works)
+		o := opt.Uncapacitated(in, opt.Limits{})
+		if !o.Exact {
+			t.Fatal("optimum not exact")
+		}
+		base := Run(in)
+		baseFactor := float64(base.Makespan) / float64(o.Length)
+
+		for _, spec := range []bucket.Spec{bucket.C1(), bucket.A2()} {
+			res, err := sim.Run(in, spec, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := float64(res.Makespan) / float64(o.Length)
+			if f >= baseFactor {
+				t.Errorf("pile %d: %s factor %.2f not better than doubling baseline %.2f",
+					W, spec.Name(), f, baseFactor)
+			}
+		}
+		t.Logf("pile %d: doubling factor %.2f (opt %d, baseline %d)", W, baseFactor, o.Length, base.Makespan)
+	}
+}

@@ -1,0 +1,313 @@
+// Package experiment reproduces the paper's §6 simulation study: run the
+// six algorithms A1, B1, C1, A2, B2, C2 over the 51 test cases of Table 1,
+// score each run against the exact optimum (or, where the solver exceeds
+// its budget, against the best certified lower bound — the paper did the
+// same and called those factors "somewhat pessimistic"), and render the
+// per-algorithm approximation-factor histograms of Figures 2–7.
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ringsched/internal/bucket"
+	"ringsched/internal/opt"
+	"ringsched/internal/sim"
+	"ringsched/internal/stats"
+	"ringsched/internal/workload"
+)
+
+// AlgorithmNames lists the §6 algorithms in figure order (Figures 2–7).
+var AlgorithmNames = []string{"A1", "B1", "C1", "A2", "B2", "C2"}
+
+// Run is one algorithm's outcome on one case.
+type Run struct {
+	Makespan int64
+	// Factor is Makespan divided by the optimum when it is known exactly,
+	// otherwise by the certified lower bound (an upper bound on the true
+	// factor).
+	Factor   float64
+	JobHops  int64
+	Messages int64
+}
+
+// CaseResult is one test case with its optimum and all algorithm runs.
+type CaseResult struct {
+	ID    string
+	Group string
+	M     int
+	Work  int64
+	Opt   opt.Result
+	Runs  map[string]Run
+}
+
+// Report is a full suite execution.
+type Report struct {
+	Algorithms []string
+	Cases      []CaseResult
+	Elapsed    time.Duration
+}
+
+// Options configure a suite run.
+type Options struct {
+	// Algorithms to run; nil means all six of §6.
+	Algorithms []string
+	// OptLimits bound the exact-optimum solver per case. The zero value
+	// uses a 15s deadline, enough to solve 46 of the 51 cases exactly on
+	// commodity hardware.
+	OptLimits opt.Limits
+	// Progress, when non-nil, receives one line per completed case.
+	Progress func(string)
+}
+
+func (o Options) algorithms() []string {
+	if len(o.Algorithms) == 0 {
+		return AlgorithmNames
+	}
+	return o.Algorithms
+}
+
+func (o Options) optLimits() opt.Limits {
+	l := o.OptLimits
+	if l.Deadline == 0 {
+		l.Deadline = 15 * time.Second
+	}
+	return l
+}
+
+// RunSuite executes the given cases (use workload.Suite() for the paper's
+// 51) under the options.
+func RunSuite(cases []workload.Case, o Options) (Report, error) {
+	started := time.Now()
+	specs := make(map[string]bucket.Spec, len(o.algorithms()))
+	for _, name := range o.algorithms() {
+		spec, err := bucket.ByName(name)
+		if err != nil {
+			return Report{}, err
+		}
+		specs[name] = spec
+	}
+
+	rep := Report{Algorithms: o.algorithms()}
+	for _, c := range cases {
+		cr := CaseResult{
+			ID:    c.ID,
+			Group: c.Group,
+			M:     c.In.M,
+			Work:  c.In.TotalWork(),
+			Runs:  make(map[string]Run, len(specs)),
+		}
+		cr.Opt = opt.Uncapacitated(c.In, o.optLimits())
+		for _, name := range rep.Algorithms {
+			res, err := sim.Run(c.In, specs[name], sim.Options{})
+			if err != nil {
+				return Report{}, fmt.Errorf("case %s, algorithm %s: %w", c.ID, name, err)
+			}
+			r := Run{Makespan: res.Makespan, JobHops: res.JobHops, Messages: res.Messages}
+			if cr.Opt.Length > 0 {
+				r.Factor = float64(res.Makespan) / float64(cr.Opt.Length)
+			} else {
+				r.Factor = 1
+			}
+			cr.Runs[name] = r
+		}
+		rep.Cases = append(rep.Cases, cr)
+		if o.Progress != nil {
+			o.Progress(fmt.Sprintf("%-28s opt=%-7d exact=%-5v %s",
+				c.ID, cr.Opt.Length, cr.Opt.Exact, summarizeRuns(rep.Algorithms, cr.Runs)))
+		}
+	}
+	rep.Elapsed = time.Since(started)
+	return rep, nil
+}
+
+func summarizeRuns(algs []string, runs map[string]Run) string {
+	parts := make([]string, 0, len(algs))
+	for _, a := range algs {
+		parts = append(parts, fmt.Sprintf("%s=%.2f", a, runs[a].Factor))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Factors returns the factor sample for one algorithm across all cases
+// (optionally only those with exactly known optima).
+func (r Report) Factors(alg string, exactOnly bool) []float64 {
+	var xs []float64
+	for _, c := range r.Cases {
+		if exactOnly && !c.Opt.Exact {
+			continue
+		}
+		if run, ok := c.Runs[alg]; ok {
+			xs = append(xs, run.Factor)
+		}
+	}
+	return xs
+}
+
+// Worst returns the worst factor for alg and the case that produced it.
+func (r Report) Worst(alg string, exactOnly bool) (float64, string) {
+	worst, id := 0.0, ""
+	for _, c := range r.Cases {
+		if exactOnly && !c.Opt.Exact {
+			continue
+		}
+		if run, ok := c.Runs[alg]; ok && run.Factor > worst {
+			worst, id = run.Factor, c.ID
+		}
+	}
+	return worst, id
+}
+
+// Histogram builds the Figures 2–7 histogram (bins of 0.2 from 1.0) for
+// one algorithm. The axis is capped at the 4.22 guarantee; rarer, larger
+// factors land in the overflow bin, keeping the figures readable.
+func (r Report) Histogram(alg string) *stats.Histogram {
+	xs := r.Factors(alg, false)
+	hi := 1.2
+	for _, x := range xs {
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi > 4.2 {
+		hi = 4.2
+	}
+	h := stats.FigureHistogram(hi + 0.2)
+	h.AddAll(xs)
+	return h
+}
+
+// figureNumbers maps each §6 algorithm to its figure in the paper.
+var figureNumbers = map[string]int{"A1": 2, "B1": 3, "C1": 4, "A2": 5, "B2": 6, "C2": 7}
+
+// RenderFigures renders every requested algorithm's histogram in the style
+// of Figures 2–7.
+func (r Report) RenderFigures() string {
+	var b strings.Builder
+	for _, alg := range r.Algorithms {
+		title := fmt.Sprintf("Approximation factors for %d runs of %s", len(r.Factors(alg, false)), alg)
+		if fig, ok := figureNumbers[alg]; ok {
+			title = fmt.Sprintf("Figure %d: %s", fig, title)
+		}
+		b.WriteString(r.Histogram(alg).Render(title, 40))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the full report as Markdown tables (used to produce
+// EXPERIMENTS.md).
+func (r Report) Markdown() string {
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "## Summary (per algorithm)\n\n")
+	fmt.Fprintf(&b, "| Algorithm | worst factor (all) | worst case | worst factor (exact opt only) | mean | share <= 1.2 |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|\n")
+	for _, alg := range r.Algorithms {
+		all := r.Factors(alg, false)
+		s := stats.Summarize(all)
+		worst, worstID := r.Worst(alg, false)
+		exactWorst, _ := r.Worst(alg, true)
+		var under int
+		for _, x := range all {
+			if x <= 1.2 {
+				under++
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %.2f | %s | %.2f | %.2f | %d/%d |\n",
+			alg, worst, worstID, exactWorst, s.Mean, under, len(all))
+	}
+
+	fmt.Fprintf(&b, "\n## Per-case results\n\n")
+	fmt.Fprintf(&b, "| Case | group | m | work | OPT | exact |")
+	for _, alg := range r.Algorithms {
+		fmt.Fprintf(&b, " %s |", alg)
+	}
+	b.WriteString("\n|---|---|---|---|---|---|")
+	for range r.Algorithms {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, c := range r.Cases {
+		exact := "yes"
+		if !c.Opt.Exact {
+			exact = "LB only"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %d | %d | %d | %s |", c.ID, c.Group, c.M, c.Work, c.Opt.Length, exact)
+		for _, alg := range r.Algorithms {
+			fmt.Fprintf(&b, " %.2f |", c.Runs[alg].Factor)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// JSON encodes the report for downstream tooling: per-case optima and
+// factors plus per-algorithm summaries.
+func (r Report) JSON() ([]byte, error) {
+	type algSummary struct {
+		Worst     float64 `json:"worst"`
+		WorstCase string  `json:"worstCase"`
+		Mean      float64 `json:"mean"`
+	}
+	type caseOut struct {
+		ID      string             `json:"id"`
+		Group   string             `json:"group"`
+		M       int                `json:"m"`
+		Work    int64              `json:"work"`
+		Opt     int64              `json:"opt"`
+		Exact   bool               `json:"exact"`
+		Factors map[string]float64 `json:"factors"`
+	}
+	out := struct {
+		Algorithms []string              `json:"algorithms"`
+		Summary    map[string]algSummary `json:"summary"`
+		Cases      []caseOut             `json:"cases"`
+		ElapsedSec float64               `json:"elapsedSeconds"`
+	}{
+		Algorithms: r.Algorithms,
+		Summary:    map[string]algSummary{},
+		ElapsedSec: r.Elapsed.Seconds(),
+	}
+	for _, alg := range r.Algorithms {
+		worst, id := r.Worst(alg, false)
+		out.Summary[alg] = algSummary{
+			Worst:     worst,
+			WorstCase: id,
+			Mean:      stats.Summarize(r.Factors(alg, false)).Mean,
+		}
+	}
+	for _, c := range r.Cases {
+		co := caseOut{ID: c.ID, Group: c.Group, M: c.M, Work: c.Work,
+			Opt: c.Opt.Length, Exact: c.Opt.Exact, Factors: map[string]float64{}}
+		for alg, run := range c.Runs {
+			co.Factors[alg] = run.Factor
+		}
+		out.Cases = append(out.Cases, co)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// BestAlgorithm returns the algorithm with the smallest worst-case factor,
+// breaking ties by mean (the paper's headline: A2).
+func (r Report) BestAlgorithm() string {
+	type score struct {
+		name        string
+		worst, mean float64
+	}
+	var scores []score
+	for _, alg := range r.Algorithms {
+		w, _ := r.Worst(alg, false)
+		scores = append(scores, score{alg, w, stats.Summarize(r.Factors(alg, false)).Mean})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].worst != scores[j].worst {
+			return scores[i].worst < scores[j].worst
+		}
+		return scores[i].mean < scores[j].mean
+	})
+	return scores[0].name
+}

@@ -1,0 +1,191 @@
+// Package flow implements Dinic's maximum-flow algorithm.
+//
+// It is the substrate for the exact-optimum schedule solvers in
+// internal/opt, which binary-search the schedule length and decide
+// feasibility with a flow computation (our stand-in for the authors'
+// unpublished m^2-space dynamic program; see DESIGN.md §5). Capacities are
+// int64; use Inf for effectively unbounded arcs.
+package flow
+
+import "fmt"
+
+// Inf is a capacity treated as unbounded. It is large enough that no sum of
+// instance capacities in this repository can approach it.
+const Inf int64 = 1 << 60
+
+type edge struct {
+	to      int
+	cap     int64 // residual capacity
+	rev     int   // index of the paired edge in adj[to]
+	reverse bool  // true for the zero-capacity half of an arc pair
+}
+
+// Network is a flow network. The zero value is unusable; create with
+// NewNetwork. A Network is not safe for concurrent use.
+type Network struct {
+	adj     [][]edge
+	level   []int
+	iter    []int
+	queue   []int
+	numArcs int
+}
+
+// NewNetwork returns an empty network with n nodes, numbered 0..n-1.
+func NewNetwork(n int) *Network {
+	if n < 0 {
+		panic("flow: negative node count")
+	}
+	return &Network{adj: make([][]edge, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Network) NumNodes() int { return len(g.adj) }
+
+// NumArcs returns the number of forward arcs added.
+func (g *Network) NumArcs() int { return g.numArcs }
+
+// AddNode appends a fresh node and returns its index.
+func (g *Network) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddArc adds a directed arc from u to v with the given capacity.
+// Zero-capacity arcs are permitted but useless; negative capacities panic.
+func (g *Network) AddArc(u, v int, cap int64) {
+	if cap < 0 {
+		panic(fmt.Sprintf("flow: negative capacity %d", cap))
+	}
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("flow: arc (%d,%d) out of range [0,%d)", u, v, len(g.adj)))
+	}
+	g.adj[u] = append(g.adj[u], edge{to: v, cap: cap, rev: len(g.adj[v])})
+	g.adj[v] = append(g.adj[v], edge{to: u, cap: 0, rev: len(g.adj[u]) - 1, reverse: true})
+	g.numArcs++
+}
+
+// bfs builds the level graph; returns false when t is unreachable.
+func (g *Network) bfs(s, t int) bool {
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	g.queue = g.queue[:0]
+	g.level[s] = 0
+	g.queue = append(g.queue, s)
+	for head := 0; head < len(g.queue); head++ {
+		u := g.queue[head]
+		for _, e := range g.adj[u] {
+			if e.cap > 0 && g.level[e.to] < 0 {
+				g.level[e.to] = g.level[u] + 1
+				g.queue = append(g.queue, e.to)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+// dfs sends up to want units along the level graph from u to t.
+func (g *Network) dfs(u, t int, want int64) int64 {
+	if u == t {
+		return want
+	}
+	for ; g.iter[u] < len(g.adj[u]); g.iter[u]++ {
+		e := &g.adj[u][g.iter[u]]
+		if e.cap <= 0 || g.level[e.to] != g.level[u]+1 {
+			continue
+		}
+		got := g.dfs(e.to, t, min64(want, e.cap))
+		if got > 0 {
+			e.cap -= got
+			g.adj[e.to][e.rev].cap += got
+			return got
+		}
+		// Dead end through e.to: prune it for the rest of this phase.
+		g.level[e.to] = -1
+	}
+	return 0
+}
+
+// Solve computes the maximum s-t flow and returns its value. The network
+// retains the residual state, so MinCut and FlowInto can be queried
+// afterwards. Capacities must not be modified after Solve; build a fresh
+// network per query instead.
+func (g *Network) Solve(s, t int) int64 {
+	if s == t {
+		panic("flow: source equals sink")
+	}
+	n := len(g.adj)
+	if len(g.level) != n {
+		g.level = make([]int, n)
+		g.iter = make([]int, n)
+	}
+	var total int64
+	for g.bfs(s, t) {
+		for i := range g.iter {
+			g.iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, Inf)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// MinCut returns, after Solve, the source side of a minimum cut: side[v] is
+// true iff v is reachable from s in the residual graph.
+func (g *Network) MinCut(s int) []bool {
+	side := make([]bool, len(g.adj))
+	stack := []int{s}
+	side[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if e.cap > 0 && !side[e.to] {
+				side[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return side
+}
+
+// FlowInto returns, after Solve, the total flow entering node v. A reverse
+// edge's residual capacity equals exactly the flow pushed on its forward
+// partner, so summing reverse edges incident to v counts inbound flow.
+func (g *Network) FlowInto(v int) int64 {
+	var f int64
+	for _, e := range g.adj[v] {
+		if e.reverse {
+			f += e.cap
+		}
+	}
+	return f
+}
+
+// FlowOn returns, after Solve, the flow on the i-th forward arc out of u
+// (in AddArc order, counting only forward arcs).
+func (g *Network) FlowOn(u, i int) int64 {
+	seen := 0
+	for _, e := range g.adj[u] {
+		if e.reverse {
+			continue
+		}
+		if seen == i {
+			return g.adj[e.to][e.rev].cap
+		}
+		seen++
+	}
+	panic(fmt.Sprintf("flow: node %d has no forward arc %d", u, i))
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,288 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivialNetworks(t *testing.T) {
+	g := NewNetwork(2)
+	g.AddArc(0, 1, 7)
+	if got := g.Solve(0, 1); got != 7 {
+		t.Errorf("single arc flow = %d, want 7", got)
+	}
+
+	g = NewNetwork(2) // no arcs
+	if got := g.Solve(0, 1); got != 0 {
+		t.Errorf("empty network flow = %d, want 0", got)
+	}
+}
+
+func TestSeriesAndParallel(t *testing.T) {
+	// 0 -5-> 1 -3-> 2: bottleneck 3.
+	g := NewNetwork(3)
+	g.AddArc(0, 1, 5)
+	g.AddArc(1, 2, 3)
+	if got := g.Solve(0, 2); got != 3 {
+		t.Errorf("series flow = %d, want 3", got)
+	}
+	// Two parallel paths 4 and 6.
+	g = NewNetwork(4)
+	g.AddArc(0, 1, 4)
+	g.AddArc(1, 3, 4)
+	g.AddArc(0, 2, 6)
+	g.AddArc(2, 3, 6)
+	if got := g.Solve(0, 3); got != 10 {
+		t.Errorf("parallel flow = %d, want 10", got)
+	}
+}
+
+func TestClassicCLRSNetwork(t *testing.T) {
+	// The well-known CLRS figure 26.1 network with max flow 23.
+	g := NewNetwork(6)
+	s, v1, v2, v3, v4, tt := 0, 1, 2, 3, 4, 5
+	g.AddArc(s, v1, 16)
+	g.AddArc(s, v2, 13)
+	g.AddArc(v1, v3, 12)
+	g.AddArc(v2, v1, 4)
+	g.AddArc(v2, v4, 14)
+	g.AddArc(v3, v2, 9)
+	g.AddArc(v3, tt, 20)
+	g.AddArc(v4, v3, 7)
+	g.AddArc(v4, tt, 4)
+	if got := g.Solve(s, tt); got != 23 {
+		t.Errorf("CLRS network flow = %d, want 23", got)
+	}
+}
+
+func TestBipartiteMatching(t *testing.T) {
+	// 3x3 bipartite graph with a perfect matching.
+	g := NewNetwork(8)
+	s, tt := 0, 7
+	left := []int{1, 2, 3}
+	right := []int{4, 5, 6}
+	for _, l := range left {
+		g.AddArc(s, l, 1)
+	}
+	for _, r := range right {
+		g.AddArc(r, tt, 1)
+	}
+	g.AddArc(1, 4, 1)
+	g.AddArc(1, 5, 1)
+	g.AddArc(2, 4, 1)
+	g.AddArc(3, 6, 1)
+	if got := g.Solve(s, tt); got != 3 {
+		t.Errorf("matching = %d, want 3", got)
+	}
+}
+
+func TestInfCapacity(t *testing.T) {
+	g := NewNetwork(3)
+	g.AddArc(0, 1, Inf)
+	g.AddArc(1, 2, 9)
+	if got := g.Solve(0, 2); got != 9 {
+		t.Errorf("flow through Inf arc = %d, want 9", got)
+	}
+}
+
+func TestMinCutMatchesFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(8)
+		g := NewNetwork(n)
+		type arc struct {
+			u, v int
+			c    int64
+		}
+		var arcs []arc
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(rng.Intn(20))
+			g.AddArc(u, v, c)
+			arcs = append(arcs, arc{u, v, c})
+		}
+		val := g.Solve(0, n-1)
+		side := g.MinCut(0)
+		if side[n-1] {
+			t.Fatalf("trial %d: sink on source side of min cut", trial)
+		}
+		var cutCap int64
+		for _, a := range arcs {
+			if side[a.u] && !side[a.v] {
+				cutCap += a.c
+			}
+		}
+		if cutCap != val {
+			t.Fatalf("trial %d: flow %d != cut capacity %d", trial, val, cutCap)
+		}
+	}
+}
+
+// fordFulkerson is an independent reference implementation (BFS augmenting
+// paths) used to cross-check Dinic on random networks.
+func fordFulkerson(n int, arcs [][3]int64, s, t int) int64 {
+	cap := make([][]int64, n)
+	for i := range cap {
+		cap[i] = make([]int64, n)
+	}
+	for _, a := range arcs {
+		cap[a[0]][a[1]] += a[2]
+	}
+	var total int64
+	for {
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] < 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if cap[u][v] > 0 && parent[v] < 0 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[t] < 0 {
+			return total
+		}
+		aug := Inf
+		for v := t; v != s; v = parent[v] {
+			if c := cap[parent[v]][v]; c < aug {
+				aug = c
+			}
+		}
+		for v := t; v != s; v = parent[v] {
+			cap[parent[v]][v] -= aug
+			cap[v][parent[v]] += aug
+		}
+		total += aug
+	}
+}
+
+func TestAgainstFordFulkerson(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		n := 3 + rng.Intn(7)
+		var arcs [][3]int64
+		g := NewNetwork(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(rng.Intn(15) + 1)
+			g.AddArc(u, v, c)
+			arcs = append(arcs, [3]int64{int64(u), int64(v), c})
+		}
+		ff := fordFulkerson(n, arcs, 0, n-1)
+		if got := g.Solve(0, n-1); got != ff {
+			t.Fatalf("trial %d: dinic %d != ford-fulkerson %d", trial, got, ff)
+		}
+	}
+}
+
+func TestFlowIntoAndFlowOn(t *testing.T) {
+	g := NewNetwork(4)
+	g.AddArc(0, 1, 4) // arc 0 out of node 0
+	g.AddArc(0, 2, 6) // arc 1 out of node 0
+	g.AddArc(1, 3, 4)
+	g.AddArc(2, 3, 5)
+	val := g.Solve(0, 3)
+	if val != 9 {
+		t.Fatalf("flow = %d, want 9", val)
+	}
+	if got := g.FlowInto(3); got != 9 {
+		t.Errorf("FlowInto(sink) = %d, want 9", got)
+	}
+	if got := g.FlowInto(1); got != 4 {
+		t.Errorf("FlowInto(1) = %d, want 4", got)
+	}
+	if got := g.FlowOn(0, 0); got != 4 {
+		t.Errorf("FlowOn(0,0) = %d, want 4", got)
+	}
+	if got := g.FlowOn(0, 1); got != 5 {
+		t.Errorf("FlowOn(0,1) = %d, want 5", got)
+	}
+}
+
+func TestFlowConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(6)
+		g := NewNetwork(n)
+		type arcRec struct{ u, idx int }
+		outArcs := make([][]int, n) // forward arc indices per node
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			g.AddArc(u, v, int64(rng.Intn(12)))
+			outArcs[u] = append(outArcs[u], len(outArcs[u]))
+		}
+		g.Solve(0, n-1)
+		for v := 1; v < n-1; v++ {
+			var out int64
+			for _, idx := range outArcs[v] {
+				out += g.FlowOn(v, idx)
+			}
+			if in := g.FlowInto(v); in != out {
+				t.Fatalf("trial %d node %d: in %d != out %d", trial, v, in, out)
+			}
+		}
+	}
+}
+
+func TestAddNodeGrowsNetwork(t *testing.T) {
+	g := NewNetwork(1)
+	v := g.AddNode()
+	if v != 1 || g.NumNodes() != 2 {
+		t.Fatalf("AddNode gave %d, NumNodes %d", v, g.NumNodes())
+	}
+	g.AddArc(0, v, 2)
+	if g.NumArcs() != 1 {
+		t.Errorf("NumArcs = %d, want 1", g.NumArcs())
+	}
+	if got := g.Solve(0, v); got != 2 {
+		t.Errorf("flow = %d, want 2", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewNetwork(-1) },
+		func() { NewNetwork(2).AddArc(0, 1, -5) },
+		func() { NewNetwork(2).AddArc(0, 5, 1) },
+		func() { NewNetwork(2).Solve(1, 1) },
+		func() { NewNetwork(2).FlowOn(0, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLargeChainThroughput(t *testing.T) {
+	// A long chain exercises the iterative structure on deep graphs.
+	const n = 2000
+	g := NewNetwork(n)
+	for i := 0; i < n-1; i++ {
+		g.AddArc(i, i+1, 100)
+	}
+	if got := g.Solve(0, n-1); got != 100 {
+		t.Errorf("chain flow = %d, want 100", got)
+	}
+}

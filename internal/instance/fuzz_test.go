@@ -1,0 +1,38 @@
+package instance
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzUnmarshalJSON checks that arbitrary bytes never panic the decoder
+// and that everything it accepts is a valid instance that survives a
+// round trip.
+func FuzzUnmarshalJSON(f *testing.F) {
+	f.Add([]byte(`{"kind":"unit","m":3,"unit":[1,0,2]}`))
+	f.Add([]byte(`{"kind":"sized","m":2,"sized":[[5],[1,1]]}`))
+	f.Add([]byte(`{"kind":"unit","m":0}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"kind":"unit","m":2,"unit":[-1,0]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var in Instance
+		if err := json.Unmarshal(data, &in); err != nil {
+			return // rejected is fine; panicking is not
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid instance %v: %v", in, err)
+		}
+		out, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("accepted instance does not re-encode: %v", err)
+		}
+		var back Instance
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-encoded instance does not decode: %v", err)
+		}
+		if back.M != in.M || back.TotalWork() != in.TotalWork() {
+			t.Fatalf("round trip drift: %v -> %v", in, back)
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package instance
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewUnitCopies(t *testing.T) {
+	src := []int64{1, 2, 3}
+	in := NewUnit(src)
+	src[0] = 99
+	if in.Unit[0] != 1 {
+		t.Error("NewUnit did not copy input slice")
+	}
+}
+
+func TestNewSizedCopies(t *testing.T) {
+	src := [][]int64{{5, 3}, {}}
+	in := NewSized(src)
+	src[0][0] = 99
+	if in.Sized[0][0] != 5 {
+		t.Error("NewSized did not deep-copy input")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instance
+		ok   bool
+	}{
+		{"unit ok", NewUnit([]int64{0, 1, 2}), true},
+		{"sized ok", NewSized([][]int64{{1}, {2, 3}}), true},
+		{"empty ring", Instance{M: 0, Unit: []int64{}}, false},
+		{"both set", Instance{M: 1, Unit: []int64{1}, Sized: [][]int64{{1}}}, false},
+		{"neither set", Instance{M: 1}, false},
+		{"unit len mismatch", Instance{M: 3, Unit: []int64{1}}, false},
+		{"negative count", Instance{M: 1, Unit: []int64{-1}}, false},
+		{"sized len mismatch", Instance{M: 2, Sized: [][]int64{{1}}}, false},
+		{"zero size job", Instance{M: 1, Sized: [][]int64{{0}}}, false},
+		{"negative size job", Instance{M: 1, Sized: [][]int64{{-2}}}, false},
+	}
+	for _, c := range cases {
+		if err := c.in.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	in := NewUnit([]int64{3, 0, 7})
+	if in.TotalWork() != 10 || in.NumJobs() != 10 {
+		t.Errorf("unit aggregates: work=%d jobs=%d", in.TotalWork(), in.NumJobs())
+	}
+	if in.PMax() != 1 {
+		t.Errorf("unit PMax = %d, want 1", in.PMax())
+	}
+	if in.Work(2) != 7 {
+		t.Errorf("Work(2) = %d, want 7", in.Work(2))
+	}
+
+	s := NewSized([][]int64{{4, 1}, {}, {9}})
+	if s.TotalWork() != 14 || s.NumJobs() != 3 {
+		t.Errorf("sized aggregates: work=%d jobs=%d", s.TotalWork(), s.NumJobs())
+	}
+	if s.PMax() != 9 {
+		t.Errorf("sized PMax = %d, want 9", s.PMax())
+	}
+	w := s.Works()
+	if w[0] != 5 || w[1] != 0 || w[2] != 9 {
+		t.Errorf("Works() = %v", w)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	in := Empty(4)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.TotalWork() != 0 || in.PMax() != 0 {
+		t.Error("Empty instance should have no work and PMax 0")
+	}
+}
+
+func TestSizesAndToSized(t *testing.T) {
+	in := NewUnit([]int64{2, 0})
+	sz := in.Sizes(0)
+	if len(sz) != 2 || sz[0] != 1 || sz[1] != 1 {
+		t.Errorf("Sizes(0) = %v", sz)
+	}
+	conv := in.ToSized()
+	if conv.IsUnit() {
+		t.Fatal("ToSized returned unit instance")
+	}
+	if conv.TotalWork() != in.TotalWork() || conv.NumJobs() != in.NumJobs() {
+		t.Error("ToSized changed aggregates")
+	}
+	// Mutating the conversion must not touch the original.
+	conv.Sized[0][0] = 50
+	if in.Unit[0] != 2 {
+		t.Error("ToSized aliased original")
+	}
+}
+
+func TestClone(t *testing.T) {
+	in := NewSized([][]int64{{2, 2}})
+	cl := in.Clone()
+	cl.Sized[0][0] = 77
+	if in.Sized[0][0] != 2 {
+		t.Error("Clone aliased sized data")
+	}
+	u := NewUnit([]int64{5})
+	cu := u.Clone()
+	cu.Unit[0] = 0
+	if u.Unit[0] != 5 {
+		t.Error("Clone aliased unit data")
+	}
+}
+
+func TestScale(t *testing.T) {
+	in := NewSized([][]int64{{3}, {1, 2}})
+	out := in.Scale(4)
+	if out.Sized[0][0] != 12 || out.Sized[1][1] != 8 {
+		t.Errorf("Scale result %v", out.Sized)
+	}
+	if in.Sized[0][0] != 3 {
+		t.Error("Scale mutated receiver")
+	}
+	for _, bad := range []func(){ // both misuses must panic
+		func() { in.Scale(0) },
+		func() { NewUnit([]int64{1}).Scale(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, in := range []Instance{
+		NewUnit([]int64{0, 5, 2}),
+		NewSized([][]int64{{7}, {}, {1, 1, 3}}),
+	} {
+		data, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", in, err)
+		}
+		var back Instance
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back.String() != in.String() || back.M != in.M {
+			t.Errorf("round trip changed instance: %v -> %v", in, back)
+		}
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var in Instance
+	for _, raw := range []string{
+		`{"kind":"mystery","m":1}`,
+		`{"kind":"unit","m":2,"unit":[1]}`,
+		`{"kind":"sized","m":1,"sized":[[0]]}`,
+		`{invalid`,
+	} {
+		if err := json.Unmarshal([]byte(raw), &in); err == nil {
+			t.Errorf("unmarshal %q succeeded, want error", raw)
+		}
+	}
+	if _, err := json.Marshal(Instance{M: 1}); err == nil {
+		t.Error("marshal of invalid instance succeeded")
+	}
+}
+
+func TestJSONRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		m := 1 + rng.Intn(8)
+		counts := make([]int64, m)
+		for i := range counts {
+			counts[i] = int64(rng.Intn(50))
+		}
+		in := NewUnit(counts)
+		data, err := json.Marshal(in)
+		if err != nil {
+			return false
+		}
+		var back Instance
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		if back.M != in.M {
+			return false
+		}
+		for i := range counts {
+			if back.Unit[i] != counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	got := NewUnit([]int64{1, 2}).String()
+	want := "instance{m=2 unit jobs=3 work=3}"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

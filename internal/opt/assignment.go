@@ -1,0 +1,163 @@
+package opt
+
+import (
+	"fmt"
+
+	"ringsched/internal/flow"
+	"ringsched/internal/instance"
+	"ringsched/internal/ring"
+)
+
+// Assignment describes one optimal schedule explicitly: Moves[i][j] jobs
+// travel from processor i to processor j (i == j means processed at
+// home). Only non-empty rows are materialized.
+type Assignment struct {
+	L     int64
+	Moves map[int]map[int]int64
+}
+
+// TotalMoved returns the number of jobs that leave their origin.
+func (a Assignment) TotalMoved() int64 {
+	var n int64
+	for i, row := range a.Moves {
+		for j, cnt := range row {
+			if i != j {
+				n += cnt
+			}
+		}
+	}
+	return n
+}
+
+// Verify checks the assignment against the instance: all jobs placed, no
+// negative counts, and every processor's intake satisfies the staircase
+// constraint (at most L-d jobs from distance >= d, for every d), which by
+// the Hall argument in the package comment is exactly feasibility of a
+// length-L schedule.
+func (a Assignment) Verify(in instance.Instance) error {
+	if !in.IsUnit() {
+		return fmt.Errorf("opt: assignment verification requires unit jobs")
+	}
+	top := ring.New(in.M)
+	placed := make([]int64, in.M)   // per source
+	intake := make([][]int64, in.M) // per dest, jobs by distance
+	for j := range intake {
+		intake[j] = make([]int64, top.MaxDist()+1)
+	}
+	for i, row := range a.Moves {
+		for j, cnt := range row {
+			if cnt < 0 {
+				return fmt.Errorf("opt: negative count %d on (%d,%d)", cnt, i, j)
+			}
+			placed[i] += cnt
+			intake[j][top.Dist(i, j)] += cnt
+		}
+	}
+	for i, x := range in.Unit {
+		if placed[i] != x {
+			return fmt.Errorf("opt: source %d placed %d of %d jobs", i, placed[i], x)
+		}
+	}
+	for j := range intake {
+		var fromAtLeast int64
+		for d := top.MaxDist(); d >= 0; d-- {
+			fromAtLeast += intake[j][d]
+			cap := a.L - int64(d)
+			if cap < 0 {
+				cap = 0
+			}
+			if fromAtLeast > cap {
+				return fmt.Errorf("opt: processor %d takes %d jobs from distance >= %d (cap %d)",
+					j, fromAtLeast, d, cap)
+			}
+		}
+	}
+	return nil
+}
+
+// UncapacitatedAssignment solves the instance exactly and extracts one
+// optimal job-to-processor assignment from the max-flow solution. It
+// returns an error when the solver exceeds its limits (no assignment is
+// available from a lower-bound fallback).
+func UncapacitatedAssignment(in instance.Instance, lim Limits) (Assignment, error) {
+	res := Uncapacitated(in, lim)
+	if !res.Exact {
+		return Assignment{}, fmt.Errorf("opt: optimum not solved exactly (%s)", res.Method)
+	}
+	L := res.Length
+	a := Assignment{L: L, Moves: make(map[int]map[int]int64)}
+	if L == 0 {
+		return a, nil
+	}
+
+	// Rebuild the feasibility network at the optimal L and read the
+	// entry-arc flows. This mirrors MetricFeasible's construction; the
+	// duplication is deliberate: the solver's hot path stays allocation-
+	// lean, while this reporting path keeps the bookkeeping needed to
+	// attribute flow to (source, destination) pairs.
+	m := in.M
+	top := ring.New(m)
+	works := in.Unit
+	dcap := int(L - 1)
+	if md := top.MaxDist(); dcap > md {
+		dcap = md
+	}
+	var sources []int
+	var n int64
+	for i, x := range works {
+		if x > 0 {
+			sources = append(sources, i)
+			n += x
+		}
+	}
+	chainBase := 2
+	numChain := m * (dcap + 1)
+	g := flow.NewNetwork(chainBase + numChain + len(sources))
+	S, T := 0, 1
+	chain := func(j, d int) int { return chainBase + j*(dcap+1) + d }
+	for j := 0; j < m; j++ {
+		g.AddArc(chain(j, 0), T, L)
+		for d := 1; d <= dcap; d++ {
+			g.AddArc(chain(j, d), chain(j, d-1), L-int64(d))
+		}
+	}
+	type entry struct{ src, dst, arc int }
+	var entries []entry
+	for si, i := range sources {
+		srcNode := chainBase + numChain + si
+		g.AddArc(S, srcNode, works[i])
+		arcIdx := 0
+		for j := 0; j < m; j++ {
+			d := top.Dist(i, j)
+			if d <= dcap {
+				g.AddArc(srcNode, chain(j, d), works[i])
+				entries = append(entries, entry{src: i, dst: j, arc: arcIdx})
+				arcIdx++
+			}
+		}
+	}
+	if got := g.Solve(S, T); got != n {
+		return Assignment{}, fmt.Errorf("opt: internal inconsistency: flow %d != %d at optimal L=%d", got, n, L)
+	}
+
+	srcNodeOf := make(map[int]int, len(sources))
+	for si, i := range sources {
+		srcNodeOf[i] = chainBase + numChain + si
+	}
+	for _, e := range entries {
+		// Forward arcs out of a source node: index 0 is S->src's pair?
+		// No: arcs out of srcNode are exactly the entry arcs, in the
+		// order recorded (the S->src arc belongs to node S).
+		f := g.FlowOn(srcNodeOf[e.src], e.arc)
+		if f == 0 {
+			continue
+		}
+		row := a.Moves[e.src]
+		if row == nil {
+			row = make(map[int]int64)
+			a.Moves[e.src] = row
+		}
+		row[e.dst] += f
+	}
+	return a, nil
+}

@@ -1,0 +1,108 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringsched/internal/instance"
+)
+
+func TestAssignmentSinglePile(t *testing.T) {
+	works := make([]int64, 50)
+	works[25] = 100
+	works[0] = 1 // defeat the closed-form shortcut so the flow runs
+	in := instance.NewUnit(works)
+	a, err := UncapacitatedAssignment(in, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(in); err != nil {
+		t.Fatalf("assignment invalid: %v", err)
+	}
+	if a.L != Uncapacitated(in, Limits{}).Length {
+		t.Errorf("assignment L %d mismatches solver", a.L)
+	}
+	if a.TotalMoved() == 0 {
+		t.Error("single pile must move jobs")
+	}
+}
+
+func TestAssignmentUniformLoadMovesNothingNecessary(t *testing.T) {
+	in := instance.NewUnit([]int64{4, 4, 4, 4, 4})
+	a, err := UncapacitatedAssignment(in, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.L != 4 {
+		t.Fatalf("L = %d", a.L)
+	}
+	if err := a.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignmentRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		m := 3 + rng.Intn(20)
+		works := make([]int64, m)
+		for i := range works {
+			works[i] = int64(rng.Intn(60))
+		}
+		in := instance.NewUnit(works)
+		a, err := UncapacitatedAssignment(in, Limits{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := a.Verify(in); err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, works, err)
+		}
+	}
+}
+
+func TestAssignmentEmpty(t *testing.T) {
+	a, err := UncapacitatedAssignment(instance.Empty(4), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.L != 0 || len(a.Moves) != 0 {
+		t.Errorf("empty assignment: %+v", a)
+	}
+	if err := a.Verify(instance.Empty(4)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignmentFallbackRejected(t *testing.T) {
+	works := make([]int64, 64)
+	for i := range works {
+		works[i] = 20
+	}
+	in := instance.NewUnit(works)
+	if _, err := UncapacitatedAssignment(in, Limits{MaxArcs: 4}); err == nil {
+		t.Error("fallback produced an assignment")
+	}
+}
+
+func TestVerifyCatchesBadAssignments(t *testing.T) {
+	in := instance.NewUnit([]int64{2, 0, 0, 0})
+	good := Assignment{L: 2, Moves: map[int]map[int]int64{0: {0: 2}}}
+	if err := good.Verify(in); err != nil {
+		t.Fatalf("good assignment rejected: %v", err)
+	}
+	bad := []Assignment{
+		{L: 2, Moves: map[int]map[int]int64{0: {0: 1}}},        // lost a job
+		{L: 2, Moves: map[int]map[int]int64{0: {0: 2, 1: 1}}},  // invented one
+		{L: 2, Moves: map[int]map[int]int64{0: {0: -2, 1: 4}}}, // negative
+		{L: 1, Moves: map[int]map[int]int64{0: {0: 2}}},        // over intake cap
+		{L: 2, Moves: map[int]map[int]int64{0: {2: 2}}},        // too far (d=2, cap 0)
+	}
+	for i, a := range bad {
+		if err := a.Verify(in); err == nil {
+			t.Errorf("bad assignment %d accepted", i)
+		}
+	}
+	if err := good.Verify(instance.NewSized([][]int64{{1}})); err == nil {
+		t.Error("sized instance accepted")
+	}
+}

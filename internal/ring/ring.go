@@ -1,0 +1,125 @@
+// Package ring provides index arithmetic for an m-processor ring.
+//
+// Processors are numbered 0..m-1 (the paper uses 1..m; we use 0-based
+// indices throughout the code base). All arithmetic is mod m, so processor
+// m+i is processor i. A Topology value is immutable and safe for concurrent
+// use.
+package ring
+
+import "fmt"
+
+// Direction identifies one of the two orientations around the ring.
+type Direction int
+
+const (
+	// Clockwise is the direction of increasing processor index, the
+	// direction buckets travel in the paper's unidirectional algorithms.
+	Clockwise Direction = +1
+	// CounterClockwise is the direction of decreasing processor index.
+	CounterClockwise Direction = -1
+)
+
+// String returns "cw" or "ccw".
+func (d Direction) String() string {
+	switch d {
+	case Clockwise:
+		return "cw"
+	case CounterClockwise:
+		return "ccw"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Opposite returns the reverse orientation.
+func (d Direction) Opposite() Direction { return -d }
+
+// Topology describes an m-processor ring.
+type Topology struct {
+	m int
+}
+
+// New returns the topology of an m-processor ring. It panics if m < 1;
+// a single-processor "ring" (m == 1) is legal and degenerate.
+func New(m int) Topology {
+	if m < 1 {
+		panic(fmt.Sprintf("ring: invalid size %d", m))
+	}
+	return Topology{m: m}
+}
+
+// Size returns the number of processors m.
+func (t Topology) Size() int { return t.m }
+
+// Wrap normalizes any (possibly negative) index to 0..m-1.
+func (t Topology) Wrap(i int) int {
+	i %= t.m
+	if i < 0 {
+		i += t.m
+	}
+	return i
+}
+
+// Step returns the processor one hop from i in direction d.
+func (t Topology) Step(i int, d Direction) int {
+	return t.Wrap(i + int(d))
+}
+
+// Move returns the processor k hops from i in direction d. k may be any
+// non-negative number of hops; k >= m wraps around the ring.
+func (t Topology) Move(i int, d Direction, k int) int {
+	if k < 0 {
+		panic("ring: negative hop count")
+	}
+	return t.Wrap(i + int(d)*k)
+}
+
+// Dist returns the length of the shortest path between i and j, i.e.
+// min(cw, ccw) hop count. It is the migration cost available to an optimal
+// schedule, which may route either way.
+func (t Topology) Dist(i, j int) int {
+	cw := t.DistDir(i, j, Clockwise)
+	if ccw := t.m - cw; ccw < cw {
+		if cw == 0 {
+			return 0
+		}
+		return ccw
+	}
+	return cw
+}
+
+// DistDir returns the hop count from i to j travelling only in direction d.
+func (t Topology) DistDir(i, j int, d Direction) int {
+	switch d {
+	case Clockwise:
+		return t.Wrap(j - i)
+	case CounterClockwise:
+		return t.Wrap(i - j)
+	default:
+		panic("ring: invalid direction")
+	}
+}
+
+// MaxDist returns the ring diameter floor(m/2), the largest shortest-path
+// distance between any two processors.
+func (t Topology) MaxDist() int { return t.m / 2 }
+
+// Segment returns the processors of the arc that starts at `from` and
+// extends k processors (inclusive of from) in direction d.
+// Segment(i, Clockwise, 3) on a ring of 5 yields [i, i+1, i+2] mod 5.
+func (t Topology) Segment(from int, d Direction, k int) []int {
+	if k < 0 || k > t.m {
+		panic(fmt.Sprintf("ring: segment length %d out of range [0,%d]", k, t.m))
+	}
+	seg := make([]int, k)
+	for h := 0; h < k; h++ {
+		seg[h] = t.Move(from, d, h)
+	}
+	return seg
+}
+
+// Between reports whether processor p lies on the clockwise arc from a to b
+// inclusive. When a == b the arc is the single processor a.
+func (t Topology) Between(a, b, p int) bool {
+	return t.DistDir(a, p, Clockwise) <= t.DistDir(a, b, Clockwise)
+}

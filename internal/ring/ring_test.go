@@ -1,0 +1,201 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnNonPositive(t *testing.T) {
+	for _, m := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", m)
+				}
+			}()
+			New(m)
+		}()
+	}
+}
+
+func TestWrap(t *testing.T) {
+	top := New(5)
+	cases := []struct{ in, want int }{
+		{0, 0}, {4, 4}, {5, 0}, {6, 1}, {-1, 4}, {-5, 0}, {-6, 4}, {12, 2},
+	}
+	for _, c := range cases {
+		if got := top.Wrap(c.in); got != c.want {
+			t.Errorf("Wrap(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStepAndMove(t *testing.T) {
+	top := New(4)
+	if got := top.Step(3, Clockwise); got != 0 {
+		t.Errorf("Step(3, cw) = %d, want 0", got)
+	}
+	if got := top.Step(0, CounterClockwise); got != 3 {
+		t.Errorf("Step(0, ccw) = %d, want 3", got)
+	}
+	if got := top.Move(1, Clockwise, 7); got != 0 {
+		t.Errorf("Move(1, cw, 7) = %d, want 0", got)
+	}
+	if got := top.Move(1, CounterClockwise, 7); got != 2 {
+		t.Errorf("Move(1, ccw, 7) = %d, want 2", got)
+	}
+}
+
+func TestMovePanicsOnNegativeHops(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Move with negative hops did not panic")
+		}
+	}()
+	New(3).Move(0, Clockwise, -1)
+}
+
+func TestDist(t *testing.T) {
+	top := New(6)
+	cases := []struct{ i, j, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 3}, {0, 4, 2}, {0, 5, 1}, {2, 5, 3}, {5, 2, 3},
+	}
+	for _, c := range cases {
+		if got := top.Dist(c.i, c.j); got != c.want {
+			t.Errorf("Dist(%d,%d) = %d, want %d", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestDistDir(t *testing.T) {
+	top := New(6)
+	if got := top.DistDir(0, 4, Clockwise); got != 4 {
+		t.Errorf("DistDir(0,4,cw) = %d, want 4", got)
+	}
+	if got := top.DistDir(0, 4, CounterClockwise); got != 2 {
+		t.Errorf("DistDir(0,4,ccw) = %d, want 2", got)
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	top := New(11)
+	f := func(a, b int) bool {
+		i, j := top.Wrap(a), top.Wrap(b)
+		return top.Dist(i, j) == top.Dist(j, i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistTriangleInequality(t *testing.T) {
+	top := New(9)
+	f := func(a, b, c int) bool {
+		i, j, k := top.Wrap(a), top.Wrap(b), top.Wrap(c)
+		return top.Dist(i, k) <= top.Dist(i, j)+top.Dist(j, k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistMatchesDirectionalMin(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 8, 13} {
+		top := New(m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				cw, ccw := top.DistDir(i, j, Clockwise), top.DistDir(i, j, CounterClockwise)
+				want := cw
+				if ccw < want {
+					want = ccw
+				}
+				if got := top.Dist(i, j); got != want {
+					t.Fatalf("m=%d Dist(%d,%d)=%d want %d", m, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxDist(t *testing.T) {
+	cases := []struct{ m, want int }{{1, 0}, {2, 1}, {3, 1}, {6, 3}, {7, 3}}
+	for _, c := range cases {
+		if got := New(c.m).MaxDist(); got != c.want {
+			t.Errorf("MaxDist(m=%d) = %d, want %d", c.m, got, c.want)
+		}
+	}
+	// The diameter is actually attained.
+	for _, m := range []int{2, 3, 6, 7, 10} {
+		top := New(m)
+		max := 0
+		for j := 0; j < m; j++ {
+			if d := top.Dist(0, j); d > max {
+				max = d
+			}
+		}
+		if max != top.MaxDist() {
+			t.Errorf("m=%d attained max %d, MaxDist %d", m, max, top.MaxDist())
+		}
+	}
+}
+
+func TestSegment(t *testing.T) {
+	top := New(5)
+	got := top.Segment(3, Clockwise, 4)
+	want := []int{3, 4, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Segment(3,cw,4) = %v, want %v", got, want)
+		}
+	}
+	got = top.Segment(1, CounterClockwise, 3)
+	want = []int{1, 0, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Segment(1,ccw,3) = %v, want %v", got, want)
+		}
+	}
+	if len(top.Segment(0, Clockwise, 0)) != 0 {
+		t.Error("zero-length segment should be empty")
+	}
+}
+
+func TestSegmentPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Segment beyond ring size did not panic")
+		}
+	}()
+	New(4).Segment(0, Clockwise, 5)
+}
+
+func TestBetween(t *testing.T) {
+	top := New(6)
+	if !top.Between(4, 1, 5) {
+		t.Error("5 should be on cw arc 4..1")
+	}
+	if !top.Between(4, 1, 0) {
+		t.Error("0 should be on cw arc 4..1")
+	}
+	if top.Between(4, 1, 2) {
+		t.Error("2 should not be on cw arc 4..1")
+	}
+	if !top.Between(3, 3, 3) {
+		t.Error("singleton arc should contain its endpoint")
+	}
+	if top.Between(3, 3, 4) {
+		t.Error("singleton arc should not contain others")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Clockwise.String() != "cw" || CounterClockwise.String() != "ccw" {
+		t.Error("direction String mismatch")
+	}
+	if Clockwise.Opposite() != CounterClockwise {
+		t.Error("Opposite broken")
+	}
+	if Direction(0).String() != "Direction(0)" {
+		t.Error("unknown direction String mismatch")
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+// Tests for the native Speed/Transit support (§4.3's machine-speed and
+// link-transit-time variations simulated directly).
+
+import (
+	"testing"
+
+	"ringsched/internal/instance"
+)
+
+func TestSpeedDividesProcessingTime(t *testing.T) {
+	in := instance.NewUnit([]int64{10, 0})
+	for _, c := range []struct {
+		speed, want int64
+	}{{1, 10}, {2, 5}, {3, 4}, {5, 2}, {10, 1}, {20, 1}} {
+		res, err := Run(in, stayAlg{}, Options{Speed: c.speed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan != c.want {
+			t.Errorf("speed %d: makespan %d, want %d", c.speed, res.Makespan, c.want)
+		}
+	}
+}
+
+func TestSpeedWithSizedJobs(t *testing.T) {
+	in := instance.NewSized([][]int64{{7, 3}})
+	res, err := Run(in, stayAlg{}, Options{Speed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 units at 4 units/step: 3 steps.
+	if res.Makespan != 3 {
+		t.Errorf("sized speed makespan %d, want 3", res.Makespan)
+	}
+}
+
+func TestTransitDelaysDelivery(t *testing.T) {
+	// One job forwarded k hops with transit tau completes at k*tau + 1.
+	for _, tau := range []int64{1, 2, 5} {
+		for k := 0; k <= 3; k++ {
+			works := make([]int64, 8)
+			works[0] = 1
+			res, err := Run(instance.NewUnit(works), hopAlg{k: k}, Options{Transit: tau})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := int64(k)*tau + 1
+			if res.Makespan != want {
+				t.Errorf("tau=%d k=%d: makespan %d, want %d", tau, k, res.Makespan, want)
+			}
+		}
+	}
+}
+
+func TestTransitTraceVerifies(t *testing.T) {
+	works := make([]int64, 6)
+	works[0] = 4
+	in := instance.NewUnit(works)
+	res, err := Run(in, hopAlg{k: 2}, Options{Transit: 3, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Verify(in); err != nil {
+		t.Errorf("transit trace: %v", err)
+	}
+	// A unit-transit verifier must reject the same trace.
+	bad := *res.Trace
+	bad.Transit = 1
+	if err := bad.Verify(in); err == nil {
+		t.Error("transit-3 trace verified as transit-1")
+	}
+}
+
+func TestSpeedTraceVerifies(t *testing.T) {
+	in := instance.NewUnit([]int64{9})
+	res, err := Run(in, stayAlg{}, Options{Speed: 3, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Verify(in); err != nil {
+		t.Errorf("speed trace: %v", err)
+	}
+	bad := *res.Trace
+	bad.Speed = 1
+	if err := bad.Verify(in); err == nil {
+		t.Error("speed-3 trace verified at speed 1")
+	}
+}
+
+func TestSpeedAndTransitCombined(t *testing.T) {
+	// 12 units hopped 2 links: arrive at 2*tau, then ceil(12/speed) steps.
+	works := make([]int64, 5)
+	works[0] = 12
+	res, err := Run(instance.NewUnit(works), hopAlg{k: 2}, Options{Speed: 4, Transit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(2*2 + 3); res.Makespan != want {
+		t.Errorf("combined makespan %d, want %d", res.Makespan, want)
+	}
+}
+
+func TestBucketAlgorithmsUnderTransit(t *testing.T) {
+	// The bucket algorithms remain legal (conserving, quiescing) when
+	// links are slow; makespan grows with tau.
+	works := make([]int64, 40)
+	works[20] = 500
+	in := instance.NewUnit(works)
+	prev := int64(0)
+	for _, tau := range []int64{1, 2, 4} {
+		res, err := Run(in, testBucketC1(t), Options{Transit: tau, Record: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Trace.Verify(in); err != nil {
+			t.Fatalf("tau=%d trace: %v", tau, err)
+		}
+		if res.Makespan < prev {
+			t.Errorf("makespan decreased with slower links: tau=%d %d < %d", tau, res.Makespan, prev)
+		}
+		prev = res.Makespan
+	}
+}
+
+// testBucketC1 returns the C1 algorithm without importing internal/bucket
+// (which would create an import cycle in tests); it forwards everything
+// one hop and deposits — a minimal distributing algorithm sufficient for
+// the transit legality check.
+func testBucketC1(t *testing.T) Algorithm {
+	t.Helper()
+	return hopAlg{k: 3}
+}

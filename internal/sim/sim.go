@@ -1,0 +1,510 @@
+// Package sim is a deterministic discrete-time simulator for job scheduling
+// algorithms on a ring, implementing the model of §2 of the paper.
+//
+// Time proceeds in integer steps; step t covers the real interval [t, t+1).
+// Within one step, each processor:
+//
+//  1. receives every packet sent to it at step t-1 (Receive callbacks; the
+//     algorithm may deposit work into the local pool and forward the rest);
+//  2. processes one unit of work from its pool, if the pool is non-empty;
+//  3. runs its per-step logic (Tick callback; the algorithm may withdraw
+//     pool work and send it, as the capacitated algorithm of §7 does).
+//
+// A packet sent at step t is delivered at step t+1, so migrating work d
+// hops costs d time — the defining feature of the model. Work deposited by
+// a Receive callback is processable in the same step, matching the
+// optimum's accounting (a job at distance d can occupy processing slots
+// d, d+1, ..., L-1 of a length-L schedule).
+//
+// Algorithms interact with the engine only through strictly local state:
+// a node sees its own index, the ring size m, its initial jobs, and the
+// packets its neighbors send it. Between steps, every unprocessed unit of
+// work is either in some pool or inside an in-transit packet; Receive
+// callbacks must re-emit whatever job payload they do not deposit.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"ringsched/internal/instance"
+	"ringsched/internal/ring"
+)
+
+// LocalInfo is the information available to a processor at time 0: its own
+// identity and initial jobs, plus the globally known ring size.
+type LocalInfo struct {
+	M     int     // ring size (global constant)
+	Index int     // this processor's index
+	Unit  int64   // initial unit-job count (unit instances)
+	Sized []int64 // initial job sizes (sized instances; nil for unit)
+	// SizedRun reports the instance representation (a global property of
+	// the problem, known to every processor): true when jobs carry
+	// explicit sizes, even at processors that start empty.
+	SizedRun bool
+}
+
+// Work returns the total initial work x_i at this processor.
+func (l LocalInfo) Work() int64 {
+	if l.Sized == nil {
+		return l.Unit
+	}
+	var w int64
+	for _, p := range l.Sized {
+		w += p
+	}
+	return w
+}
+
+// Packet is a message traversing one link per step.
+type Packet struct {
+	Dir  ring.Direction // direction of travel
+	Work int64          // unit jobs carried
+	Jobs []int64        // sized jobs carried (sizes)
+	Meta any            // algorithm-specific control payload
+}
+
+// payload returns the total work the packet carries.
+func (p *Packet) payload() int64 {
+	w := p.Work
+	for _, s := range p.Jobs {
+		w += s
+	}
+	return w
+}
+
+// jobCount returns the number of jobs the packet carries (each unit of
+// Work is one unit job).
+func (p *Packet) jobCount() int64 { return p.Work + int64(len(p.Jobs)) }
+
+// Node is a processor program. Implementations must be deterministic and
+// must touch only their own state plus the Ctx passed in.
+type Node interface {
+	// Start runs at step 0 before any processing. The node owns its
+	// initial jobs and must either Deposit them locally or Send them.
+	Start(ctx Ctx)
+	// Receive runs once per delivered packet, in deterministic order
+	// (clockwise-travelling packets first, then counter-clockwise).
+	// Job payload not deposited must be re-sent this step.
+	Receive(ctx Ctx, p *Packet)
+	// Tick runs after this step's processing. It may Withdraw pool work
+	// and Send it (the §7 capacitated algorithm does), or send control
+	// packets.
+	Tick(ctx Ctx)
+}
+
+// Algorithm constructs the per-processor programs.
+type Algorithm interface {
+	Name() string
+	NewNode(local LocalInfo) Node
+}
+
+// Options configure a simulation run.
+type Options struct {
+	// LinkCapacity limits jobs per directed link per step (§7 model).
+	// Zero means uncapacitated.
+	LinkCapacity int64
+	// MaxSteps aborts runaway simulations. Zero picks a generous default
+	// of 8*(n+m)*Transit+64 steps.
+	MaxSteps int64
+	// Record enables the event trace (memory proportional to event count).
+	Record bool
+	// Speed is the work processed per processor per step (§4.3's
+	// uniformly faster machines). Zero means 1.
+	Speed int64
+	// Transit is the number of steps a packet needs per hop (§4.3's
+	// slower links, simulated natively rather than via the Reduce
+	// rescaling). Zero means 1.
+	Transit int64
+}
+
+func (o Options) speed() int64 {
+	if o.Speed <= 0 {
+		return 1
+	}
+	return o.Speed
+}
+
+func (o Options) transit() int64 {
+	if o.Transit <= 0 {
+		return 1
+	}
+	return o.Transit
+}
+
+// Result reports a completed simulation.
+type Result struct {
+	Algorithm string
+	Makespan  int64   // completion time of the last job
+	Steps     int64   // steps simulated until quiescence
+	JobHops   int64   // total work-units times links crossed
+	Messages  int64   // packets delivered (including control packets)
+	BusySteps []int64 // per-processor count of steps spent processing
+	MaxPool   []int64 // per-processor maximum pool work observed
+	Processed []int64 // per-processor work processed in total
+	Trace     *Trace  // non-nil iff Options.Record
+}
+
+// Utilization returns the fraction of processor-steps spent busy up to the
+// makespan. It is 0 for an empty schedule.
+func (r Result) Utilization() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	var busy int64
+	for _, b := range r.BusySteps {
+		busy += b
+	}
+	return float64(busy) / float64(r.Makespan*int64(len(r.BusySteps)))
+}
+
+// ErrCapacityViolation reports that an algorithm exceeded the per-link
+// capacity in the capacitated model.
+var ErrCapacityViolation = errors.New("sim: link capacity exceeded")
+
+// ErrNotQuiescent reports that MaxSteps elapsed with work remaining.
+var ErrNotQuiescent = errors.New("sim: simulation did not quiesce within MaxSteps")
+
+// errLeak reports that a Receive callback dropped job payload (neither
+// deposited nor re-sent), which would silently lose work.
+var errLeak = errors.New("sim: job payload leaked by Receive callback")
+
+// pool is the local store of processable work. total caches unit +
+// remaining + sum(jobs) so the hot loop never rescans the job queue.
+type pool struct {
+	unit      int64   // unit jobs
+	jobs      []int64 // sized jobs, FIFO
+	remaining int64   // remaining work of the sized job being processed
+	total     int64
+}
+
+func (q *pool) work() int64 { return q.total }
+
+func (q *pool) addUnit(n int64)   { q.unit += n; q.total += n }
+func (q *pool) addJob(size int64) { q.jobs = append(q.jobs, size); q.total += size }
+func (q *pool) takeUnit(n int64)  { q.unit -= n; q.total -= n }
+
+// processOne consumes one unit of work; reports whether any was done.
+func (q *pool) processOne() bool {
+	switch {
+	case q.remaining > 0:
+		q.remaining--
+	case len(q.jobs) > 0:
+		q.remaining = q.jobs[0] - 1
+		q.jobs = q.jobs[1:]
+	case q.unit > 0:
+		q.unit--
+	default:
+		return false
+	}
+	q.total--
+	return true
+}
+
+// Ctx is the runtime handle passed to Node callbacks. The sequential
+// engine in this package and the concurrent runtime in internal/dist both
+// implement it, so the same Node programs run on either.
+type Ctx interface {
+	// Me returns the processor index.
+	Me() int
+	// Now returns the current step.
+	Now() int64
+	// M returns the ring size.
+	M() int
+	// PoolWork returns the unprocessed work in the local pool.
+	PoolWork() int64
+	// Deposit adds unit work to the local pool.
+	Deposit(work int64)
+	// DepositJob adds one sized job to the local pool.
+	DepositJob(size int64)
+	// Withdraw removes up to n unit jobs from the local pool and returns
+	// the number removed. Sized jobs cannot be withdrawn once deposited.
+	Withdraw(n int64) int64
+	// Send emits a packet for delivery to the neighbor in p.Dir at step
+	// Now()+1.
+	Send(p *Packet)
+}
+
+// CheckPacket validates an outgoing packet; every Ctx implementation
+// applies it in Send.
+func CheckPacket(p *Packet) {
+	if p.Work < 0 {
+		panic("sim: negative packet work")
+	}
+	for _, s := range p.Jobs {
+		if s <= 0 {
+			panic("sim: non-positive job size in packet")
+		}
+	}
+	if p.Dir != ring.Clockwise && p.Dir != ring.CounterClockwise {
+		panic("sim: packet without direction")
+	}
+}
+
+// engineCtx is the sequential engine's Ctx.
+type engineCtx struct {
+	eng     *engine
+	me      int
+	now     int64
+	inRecv  bool
+	pending int64 // job payload of the packet being received, not yet placed
+}
+
+var _ Ctx = (*engineCtx)(nil)
+
+func (c *engineCtx) Me() int { return c.me }
+
+func (c *engineCtx) Now() int64 { return c.now }
+
+func (c *engineCtx) M() int { return c.eng.top.Size() }
+
+func (c *engineCtx) PoolWork() int64 { return c.eng.pools[c.me].work() }
+
+func (c *engineCtx) Deposit(work int64) {
+	if work < 0 {
+		panic("sim: negative deposit")
+	}
+	c.eng.pools[c.me].addUnit(work)
+	if c.inRecv {
+		c.pending -= work
+	}
+	c.eng.record(Event{T: c.now, Kind: EvDeposit, Proc: c.me, Amount: work})
+}
+
+func (c *engineCtx) DepositJob(size int64) {
+	if size <= 0 {
+		panic("sim: non-positive job size")
+	}
+	c.eng.pools[c.me].addJob(size)
+	if c.inRecv {
+		c.pending -= size
+	}
+	c.eng.record(Event{T: c.now, Kind: EvDeposit, Proc: c.me, Amount: size})
+}
+
+func (c *engineCtx) Withdraw(n int64) int64 {
+	q := &c.eng.pools[c.me]
+	if n > q.unit {
+		n = q.unit
+	}
+	if n < 0 {
+		n = 0
+	}
+	q.takeUnit(n)
+	c.eng.record(Event{T: c.now, Kind: EvWithdraw, Proc: c.me, Amount: n})
+	return n
+}
+
+func (c *engineCtx) Send(p *Packet) {
+	CheckPacket(p)
+	if c.inRecv {
+		c.pending -= p.payload()
+	}
+	c.eng.emit(c.me, p, c.now)
+}
+
+// transit is a packet en route across one link.
+type transit struct {
+	from int
+	p    *Packet
+}
+
+type engine struct {
+	top   ring.Topology
+	pools []pool
+	nodes []Node
+	// pipeline[t % Transit] holds the packets delivered at step t (they
+	// were sent Transit steps earlier). With unit transit this is a
+	// simple two-slot rotation.
+	pipeline [][]transit
+	outbox   []transit // packets sent during the current step
+	opts     Options
+	trace    *Trace
+
+	jobHops  int64
+	messages int64
+}
+
+func (e *engine) record(ev Event) {
+	if e.trace != nil {
+		e.trace.Events = append(e.trace.Events, ev)
+	}
+}
+
+func (e *engine) emit(from int, p *Packet, now int64) {
+	e.outbox = append(e.outbox, transit{from: from, p: p})
+	e.record(Event{T: now, Kind: EvSend, Proc: from, Dir: p.Dir, Amount: p.payload(), JobCount: p.jobCount()})
+}
+
+// Run simulates alg on in and returns the result. The error is non-nil if
+// the algorithm violates link capacity (capacitated runs), leaks work, or
+// fails to quiesce.
+func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	m := in.M
+	e := &engine{
+		top:      ring.New(m),
+		pools:    make([]pool, m),
+		nodes:    make([]Node, m),
+		pipeline: make([][]transit, opts.transit()),
+		opts:     opts,
+	}
+	if opts.Record {
+		e.trace = &Trace{M: m, LinkCapacity: opts.LinkCapacity,
+			Speed: opts.speed(), Transit: opts.transit()}
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 8*(in.TotalWork()+int64(m))*opts.transit() + 64
+	}
+
+	for i := 0; i < m; i++ {
+		local := LocalInfo{M: m, Index: i, SizedRun: !in.IsUnit()}
+		if in.IsUnit() {
+			local.Unit = in.Unit[i]
+		} else {
+			local.Sized = append([]int64(nil), in.Sized[i]...)
+		}
+		e.nodes[i] = alg.NewNode(local)
+	}
+
+	res := Result{
+		Algorithm: alg.Name(),
+		BusySteps: make([]int64, m),
+		MaxPool:   make([]int64, m),
+		Processed: make([]int64, m),
+	}
+
+	linkLoad := make(map[[2]int]int64) // directed link -> jobs this step
+
+	for t := int64(0); ; t++ {
+		if t > maxSteps {
+			return res, fmt.Errorf("%w (t=%d, alg=%s)", ErrNotQuiescent, t, alg.Name())
+		}
+
+		// Phase 1: start (t=0) or deliveries.
+		slot := int(t % e.opts.transit())
+		inbox := e.pipeline[slot]
+		e.pipeline[slot] = nil
+		if t == 0 {
+			for i := 0; i < m; i++ {
+				ctx := &engineCtx{eng: e, me: i, now: 0}
+				e.nodes[i].Start(ctx)
+			}
+			// Start must place exactly the instance's work: anything
+			// else silently corrupts every downstream metric.
+			var placed int64
+			for i := range e.pools {
+				placed += e.pools[i].work()
+			}
+			for _, tr := range e.outbox {
+				placed += tr.p.payload()
+			}
+			if want := in.TotalWork(); placed != want {
+				return res, fmt.Errorf("sim: Start placed %d work, instance has %d (alg=%s)",
+					placed, want, alg.Name())
+			}
+		} else {
+			// Deliver clockwise packets first for determinism.
+			for pass := 0; pass < 2; pass++ {
+				want := ring.Clockwise
+				if pass == 1 {
+					want = ring.CounterClockwise
+				}
+				for _, tr := range inbox {
+					if tr.p.Dir != want {
+						continue
+					}
+					dest := e.top.Step(tr.from, tr.p.Dir)
+					e.messages++
+					e.record(Event{T: t, Kind: EvDeliver, Proc: dest, Dir: tr.p.Dir, Amount: tr.p.payload(), JobCount: tr.p.jobCount()})
+					ctx := &engineCtx{eng: e, me: dest, now: t, inRecv: true, pending: tr.p.payload()}
+					e.nodes[dest].Receive(ctx, tr.p)
+					if ctx.pending != 0 {
+						return res, fmt.Errorf("%w: %d work at proc %d, t=%d, alg=%s",
+							errLeak, ctx.pending, dest, t, alg.Name())
+					}
+				}
+			}
+		}
+
+		// Phase 2: processing (Speed units per step).
+		for i := 0; i < m; i++ {
+			if w := e.pools[i].work(); w > res.MaxPool[i] {
+				res.MaxPool[i] = w
+			}
+			var done int64
+			for u := int64(0); u < e.opts.speed(); u++ {
+				if !e.pools[i].processOne() {
+					break
+				}
+				done++
+			}
+			if done > 0 {
+				res.BusySteps[i]++
+				res.Processed[i] += done
+				res.Makespan = t + 1
+				e.record(Event{T: t, Kind: EvProcess, Proc: i, Amount: done})
+			}
+		}
+
+		// Phase 3: per-step logic.
+		for i := 0; i < m; i++ {
+			ctx := &engineCtx{eng: e, me: i, now: t}
+			e.nodes[i].Tick(ctx)
+		}
+
+		// Capacity accounting for everything sent this step.
+		if e.opts.LinkCapacity > 0 {
+			clear(linkLoad)
+			for _, tr := range e.outbox {
+				key := [2]int{tr.from, int(tr.p.Dir)}
+				linkLoad[key] += tr.p.jobCount()
+				if linkLoad[key] > e.opts.LinkCapacity {
+					return res, fmt.Errorf("%w: link (%d,%s) carried %d jobs at t=%d, alg=%s",
+						ErrCapacityViolation, tr.from, tr.p.Dir, linkLoad[key], t, alg.Name())
+				}
+			}
+		}
+		for _, tr := range e.outbox {
+			e.jobHops += tr.p.payload()
+		}
+
+		// Packets sent at t are delivered at t+Transit.
+		e.pipeline[slot] = e.outbox
+		e.outbox = inbox[:0]
+		res.Steps = t + 1
+
+		if quiescent(e) {
+			break
+		}
+	}
+
+	res.JobHops = e.jobHops
+	res.Messages = e.messages
+	res.Trace = e.trace
+	if e.trace != nil {
+		e.trace.Steps = res.Steps
+	}
+	return res, nil
+}
+
+// quiescent reports whether no processable or in-transit work remains.
+// Control-only packets (no job payload) do not block termination.
+func quiescent(e *engine) bool {
+	for i := range e.pools {
+		if e.pools[i].work() > 0 {
+			return false
+		}
+	}
+	for _, slot := range e.pipeline {
+		for _, tr := range slot {
+			if tr.p.payload() > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

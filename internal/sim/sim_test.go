@@ -1,0 +1,461 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ringsched/internal/instance"
+	"ringsched/internal/ring"
+)
+
+// stayAlg deposits everything locally and never communicates.
+type stayAlg struct{}
+
+func (stayAlg) Name() string { return "stay" }
+func (stayAlg) NewNode(local LocalInfo) Node {
+	return &stayNode{local: local}
+}
+
+type stayNode struct{ local LocalInfo }
+
+func (n *stayNode) Start(ctx Ctx) {
+	ctx.Deposit(n.local.Unit)
+	for _, s := range n.local.Sized {
+		ctx.DepositJob(s)
+	}
+}
+func (n *stayNode) Receive(ctx Ctx, p *Packet) { ctx.Deposit(p.Work) }
+func (n *stayNode) Tick(ctx Ctx)               {}
+
+// hopAlg sends all initial work k hops clockwise, then deposits it there.
+type hopAlg struct{ k int }
+
+func (a hopAlg) Name() string { return "hop" }
+func (a hopAlg) NewNode(local LocalInfo) Node {
+	return &hopNode{local: local, k: a.k}
+}
+
+type hopNode struct {
+	local LocalInfo
+	k     int
+}
+
+func (n *hopNode) Start(ctx Ctx) {
+	if n.k == 0 || n.local.Unit == 0 {
+		ctx.Deposit(n.local.Unit)
+		return
+	}
+	ctx.Send(&Packet{Dir: ring.Clockwise, Work: n.local.Unit, Meta: n.k - 1})
+}
+
+func (n *hopNode) Receive(ctx Ctx, p *Packet) {
+	left := p.Meta.(int)
+	if left == 0 {
+		ctx.Deposit(p.Work)
+		return
+	}
+	ctx.Send(&Packet{Dir: p.Dir, Work: p.Work, Meta: left - 1})
+}
+func (n *hopNode) Tick(ctx Ctx) {}
+
+// leakAlg drops received payload on the floor.
+type leakAlg struct{}
+
+func (leakAlg) Name() string { return "leak" }
+func (leakAlg) NewNode(local LocalInfo) Node {
+	return &leakNode{local}
+}
+
+type leakNode struct{ local LocalInfo }
+
+func (n *leakNode) Start(ctx Ctx) {
+	if n.local.Unit > 0 {
+		ctx.Send(&Packet{Dir: ring.Clockwise, Work: n.local.Unit})
+	}
+}
+func (n *leakNode) Receive(ctx Ctx, p *Packet) {} // loses the payload
+func (n *leakNode) Tick(ctx Ctx)               {}
+
+// floodAlg sends two separate single-job packets over the same link in one
+// step, violating unit link capacity.
+type floodAlg struct{}
+
+func (floodAlg) Name() string { return "flood" }
+func (floodAlg) NewNode(local LocalInfo) Node {
+	return &floodNode{local}
+}
+
+type floodNode struct{ local LocalInfo }
+
+func (n *floodNode) Start(ctx Ctx) {
+	if n.local.Unit >= 2 {
+		ctx.Send(&Packet{Dir: ring.Clockwise, Work: 1})
+		ctx.Send(&Packet{Dir: ring.Clockwise, Work: 1})
+		ctx.Deposit(n.local.Unit - 2)
+		return
+	}
+	ctx.Deposit(n.local.Unit)
+}
+func (n *floodNode) Receive(ctx Ctx, p *Packet) { ctx.Deposit(p.Work) }
+func (n *floodNode) Tick(ctx Ctx)               {}
+
+// spinAlg forwards its work forever; used to exercise the MaxSteps guard.
+type spinAlg struct{}
+
+func (spinAlg) Name() string                 { return "spin" }
+func (spinAlg) NewNode(local LocalInfo) Node { return &spinNode{local} }
+
+type spinNode struct{ local LocalInfo }
+
+func (n *spinNode) Start(ctx Ctx) {
+	if n.local.Unit > 0 {
+		ctx.Send(&Packet{Dir: ring.Clockwise, Work: n.local.Unit})
+	}
+}
+func (n *spinNode) Receive(ctx Ctx, p *Packet) { ctx.Send(p) }
+func (n *spinNode) Tick(ctx Ctx)               {}
+
+func TestStayMakespanEqualsMaxLoad(t *testing.T) {
+	in := instance.NewUnit([]int64{3, 7, 0, 2})
+	res, err := Run(in, stayAlg{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 7 {
+		t.Errorf("makespan = %d, want 7", res.Makespan)
+	}
+	if res.JobHops != 0 || res.Messages != 0 {
+		t.Errorf("stay alg moved work: hops=%d msgs=%d", res.JobHops, res.Messages)
+	}
+	for i, want := range []int64{3, 7, 0, 2} {
+		if res.Processed[i] != want {
+			t.Errorf("Processed[%d] = %d, want %d", i, res.Processed[i], want)
+		}
+	}
+}
+
+func TestStaySizedJobs(t *testing.T) {
+	in := instance.NewSized([][]int64{{5, 2}, {1}})
+	res, err := Run(in, stayAlg{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 7 {
+		t.Errorf("sized makespan = %d, want 7", res.Makespan)
+	}
+}
+
+func TestEmptyInstanceQuiesces(t *testing.T) {
+	res, err := Run(instance.Empty(5), stayAlg{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 0 {
+		t.Errorf("empty makespan = %d", res.Makespan)
+	}
+}
+
+func TestHopLatency(t *testing.T) {
+	// 1 job forwarded k hops: arrives at step k, processed during step k,
+	// so completion time is k+1.
+	for k := 0; k <= 4; k++ {
+		works := make([]int64, 8)
+		works[0] = 1
+		res, err := Run(instance.NewUnit(works), hopAlg{k: k}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(k + 1); res.Makespan != want {
+			t.Errorf("k=%d: makespan = %d, want %d", k, res.Makespan, want)
+		}
+		if res.JobHops != int64(k) {
+			t.Errorf("k=%d: job hops = %d, want %d", k, res.JobHops, k)
+		}
+		if res.Processed[k%8] != 1 {
+			t.Errorf("k=%d: job not processed at hop target", k)
+		}
+	}
+}
+
+func TestHopWrapsRing(t *testing.T) {
+	works := []int64{4, 0, 0}
+	res, err := Run(instance.NewUnit(works), hopAlg{k: 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work lands on processor 5 mod 3 = 2.
+	if res.Processed[2] != 4 {
+		t.Errorf("Processed = %v, want all on 2", res.Processed)
+	}
+}
+
+func TestLeakDetected(t *testing.T) {
+	in := instance.NewUnit([]int64{5, 0})
+	_, err := Run(in, leakAlg{}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "leaked") {
+		t.Errorf("leak not detected: err = %v", err)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	in := instance.NewUnit([]int64{4, 0, 0})
+	_, err := Run(in, floodAlg{}, Options{LinkCapacity: 1})
+	if !errors.Is(err, ErrCapacityViolation) {
+		t.Errorf("capacity violation not detected: err = %v", err)
+	}
+	// The same algorithm is legal on uncapacitated links.
+	if _, err := Run(in, floodAlg{}, Options{}); err != nil {
+		t.Errorf("uncapacitated run failed: %v", err)
+	}
+	// And legal with capacity 2.
+	if _, err := Run(in, floodAlg{}, Options{LinkCapacity: 2}); err != nil {
+		t.Errorf("capacity-2 run failed: %v", err)
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	in := instance.NewUnit([]int64{1, 0, 0})
+	_, err := Run(in, spinAlg{}, Options{MaxSteps: 50})
+	if !errors.Is(err, ErrNotQuiescent) {
+		t.Errorf("runaway not detected: err = %v", err)
+	}
+	// Default MaxSteps also fires eventually.
+	_, err = Run(in, spinAlg{}, Options{})
+	if !errors.Is(err, ErrNotQuiescent) {
+		t.Errorf("default guard not hit: err = %v", err)
+	}
+}
+
+func TestInvalidInstanceRejected(t *testing.T) {
+	if _, err := Run(instance.Instance{M: 2}, stayAlg{}, Options{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	in := instance.NewUnit([]int64{2, 2})
+	res, err := Run(in, stayAlg{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := res.Utilization(); u != 1.0 {
+		t.Errorf("utilization = %v, want 1.0", u)
+	}
+	var empty Result
+	empty.BusySteps = []int64{0}
+	if empty.Utilization() != 0 {
+		t.Error("empty utilization should be 0")
+	}
+}
+
+func TestTraceRecordingAndVerify(t *testing.T) {
+	in := instance.NewUnit([]int64{3, 0, 0, 0})
+	res, err := Run(in, hopAlg{k: 2}, Options{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("trace missing")
+	}
+	if err := res.Trace.Verify(in); err != nil {
+		t.Errorf("trace verification failed: %v", err)
+	}
+	// Verify catches a wrong instance.
+	if err := res.Trace.Verify(instance.NewUnit([]int64{9, 0, 0, 0})); err == nil {
+		t.Error("verify accepted mismatched instance")
+	}
+	if err := res.Trace.Verify(instance.NewUnit([]int64{3, 0})); err == nil {
+		t.Error("verify accepted wrong ring size")
+	}
+}
+
+func TestTraceVerifyCatchesTampering(t *testing.T) {
+	in := instance.NewUnit([]int64{2, 0})
+	res, err := Run(in, stayAlg{}, Options{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+
+	// Double-processing at one step.
+	bad := *tr
+	bad.Events = append(append([]Event(nil), tr.Events...),
+		Event{T: 0, Kind: EvProcess, Proc: 0, Amount: 1})
+	if err := bad.Verify(in); err == nil {
+		t.Error("verify missed double processing")
+	}
+
+	// Phantom delivery at t=0.
+	bad = *tr
+	bad.Events = append(append([]Event(nil), tr.Events...),
+		Event{T: 0, Kind: EvDeliver, Proc: 0, Amount: 1})
+	if err := bad.Verify(in); err == nil {
+		t.Error("verify missed t=0 delivery")
+	}
+
+	// Send without matching delivery.
+	bad = *tr
+	bad.Events = append(append([]Event(nil), tr.Events...),
+		Event{T: 0, Kind: EvSend, Proc: 0, Dir: ring.Clockwise, Amount: 1, JobCount: 1})
+	if err := bad.Verify(in); err == nil {
+		t.Error("verify missed unmatched send")
+	}
+}
+
+func TestTraceVerifyNil(t *testing.T) {
+	var tr *Trace
+	if err := tr.Verify(instance.Empty(1)); err == nil {
+		t.Error("nil trace verified")
+	}
+}
+
+func TestGanttUtilization(t *testing.T) {
+	in := instance.NewUnit([]int64{4, 0})
+	res, err := Run(in, stayAlg{}, Options{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Trace.GanttUtilization(2)
+	if !strings.Contains(out, "0 |") || !strings.Contains(out, "1 |") {
+		t.Errorf("unexpected gantt output:\n%s", out)
+	}
+	var nilTrace *Trace
+	if got := nilTrace.GanttUtilization(10); !strings.Contains(got, "empty") {
+		t.Errorf("nil trace gantt = %q", got)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	names := map[EventKind]string{
+		EvSend: "send", EvDeliver: "deliver", EvDeposit: "deposit",
+		EvWithdraw: "withdraw", EvProcess: "process", EventKind(99): "EventKind(99)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("EventKind %d String = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestSingleProcessorRing(t *testing.T) {
+	in := instance.NewUnit([]int64{5})
+	res, err := Run(in, stayAlg{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 5 {
+		t.Errorf("m=1 makespan = %d, want 5", res.Makespan)
+	}
+}
+
+func TestLocalInfoWork(t *testing.T) {
+	if (LocalInfo{Unit: 7}).Work() != 7 {
+		t.Error("unit Work wrong")
+	}
+	if (LocalInfo{Sized: []int64{2, 3}}).Work() != 5 {
+		t.Error("sized Work wrong")
+	}
+}
+
+func TestCtxPanics(t *testing.T) {
+	in := instance.NewUnit([]int64{1})
+	bad := []Algorithm{
+		badStartAlg{func(ctx Ctx) { ctx.Deposit(-1) }},
+		badStartAlg{func(ctx Ctx) { ctx.DepositJob(0) }},
+		badStartAlg{func(ctx Ctx) { ctx.Send(&Packet{Dir: ring.Clockwise, Work: -1}) }},
+		badStartAlg{func(ctx Ctx) { ctx.Send(&Packet{Work: 1}) }}, // no direction
+		badStartAlg{func(ctx Ctx) { ctx.Send(&Packet{Dir: ring.Clockwise, Jobs: []int64{0}}) }},
+	}
+	for i, alg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad ctx use %d did not panic", i)
+				}
+			}()
+			Run(in, alg, Options{}) //nolint:errcheck
+		}()
+	}
+}
+
+type badStartAlg struct{ f func(Ctx) }
+
+func (badStartAlg) Name() string { return "bad" }
+func (a badStartAlg) NewNode(local LocalInfo) Node {
+	return &badStartNode{a.f}
+}
+
+type badStartNode struct{ f func(Ctx) }
+
+func (n *badStartNode) Start(ctx Ctx) {
+	n.f(ctx)
+	ctx.Deposit(1) // unreachable when f panics
+}
+func (n *badStartNode) Receive(ctx Ctx, p *Packet) { ctx.Deposit(p.Work) }
+func (n *badStartNode) Tick(ctx Ctx)               {}
+
+func TestWithdrawClampsToPool(t *testing.T) {
+	in := instance.NewUnit([]int64{3})
+	alg := withdrawProbeAlg{}
+	res, err := Run(in, alg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+}
+
+// withdrawProbeAlg deposits 3 then withdraws 10 (expects 2 back after one
+// unit processed) and re-deposits, exercising the clamp logic.
+type withdrawProbeAlg struct{}
+
+func (withdrawProbeAlg) Name() string { return "withdraw-probe" }
+func (withdrawProbeAlg) NewNode(local LocalInfo) Node {
+	return &withdrawProbeNode{unit: local.Unit}
+}
+
+type withdrawProbeNode struct {
+	unit int64
+	done bool
+}
+
+func (n *withdrawProbeNode) Start(ctx Ctx) { ctx.Deposit(n.unit) }
+func (n *withdrawProbeNode) Receive(ctx Ctx, p *Packet) {
+	ctx.Deposit(p.Work)
+}
+func (n *withdrawProbeNode) Tick(ctx Ctx) {
+	if n.done || ctx.Me() != 0 {
+		return
+	}
+	n.done = true
+	got := ctx.Withdraw(10)
+	if got != 2 { // 3 deposited, 1 already processed at step 0
+		panic("withdraw clamp broken")
+	}
+	ctx.Deposit(got)
+	if ctx.Withdraw(-5) != 0 {
+		panic("negative withdraw should be 0")
+	}
+}
+
+// dupAlg deposits its pile twice at Start; the engine must refuse.
+type dupAlg struct{}
+
+func (dupAlg) Name() string                 { return "dup" }
+func (dupAlg) NewNode(local LocalInfo) Node { return dupNode{local} }
+
+type dupNode struct{ local LocalInfo }
+
+func (n dupNode) Start(ctx Ctx) {
+	ctx.Deposit(n.local.Unit)
+	ctx.Deposit(n.local.Unit)
+}
+func (n dupNode) Receive(ctx Ctx, p *Packet) { ctx.Deposit(p.Work) }
+func (n dupNode) Tick(ctx Ctx)               {}
+
+func TestStartConservationEnforced(t *testing.T) {
+	_, err := Run(instance.NewUnit([]int64{5, 0}), dupAlg{}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "Start placed") {
+		t.Errorf("duplicated Start deposit not detected: %v", err)
+	}
+}

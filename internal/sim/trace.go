@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"ringsched/internal/instance"
+	"ringsched/internal/ring"
+)
+
+// EventKind labels trace events.
+type EventKind uint8
+
+const (
+	// EvSend: a packet left Proc travelling Dir (Amount = work payload,
+	// JobCount = jobs carried). Recorded at the sending step.
+	EvSend EventKind = iota
+	// EvDeliver: a packet arrived at Proc (recorded at the delivery step).
+	EvDeliver
+	// EvDeposit: Proc moved Amount work into its local pool.
+	EvDeposit
+	// EvWithdraw: Proc removed Amount unit work from its pool to send.
+	EvWithdraw
+	// EvProcess: Proc completed one unit of work.
+	EvProcess
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvSend:
+		return "send"
+	case EvDeliver:
+		return "deliver"
+	case EvDeposit:
+		return "deposit"
+	case EvWithdraw:
+		return "withdraw"
+	case EvProcess:
+		return "process"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one entry of a simulation trace.
+type Event struct {
+	T        int64
+	Kind     EventKind
+	Proc     int
+	Dir      ring.Direction // senders/deliveries only
+	Amount   int64          // work units involved
+	JobCount int64          // jobs involved (sends/deliveries)
+}
+
+// Trace is the recorded event stream of a run (Options.Record).
+type Trace struct {
+	M            int
+	LinkCapacity int64
+	Speed        int64 // work units per processor per step (>= 1)
+	Transit      int64 // steps per hop (>= 1)
+	Steps        int64
+	Events       []Event
+}
+
+func (tr *Trace) speed() int64 {
+	if tr.Speed <= 0 {
+		return 1
+	}
+	return tr.Speed
+}
+
+func (tr *Trace) transit() int64 {
+	if tr.Transit <= 0 {
+		return 1
+	}
+	return tr.Transit
+}
+
+// Verify audits the trace against the model rules of §2 (and §7 when the
+// run was capacitated), independently of the engine's own bookkeeping:
+//
+//   - every processor completes at most one unit of work per step;
+//   - with capacitated links, at most LinkCapacity jobs cross each
+//     directed link per step;
+//   - work is conserved: initial work = processed work, and at every step
+//     the delivered payload equals the payload sent one step earlier;
+//   - nothing is delivered at step 0 and nothing is processed after a
+//     delivery-free, pool-empty suffix (quiescence).
+//
+// It returns nil when the trace is consistent with the instance.
+func (tr *Trace) Verify(in instance.Instance) error {
+	if tr == nil {
+		return fmt.Errorf("sim: nil trace")
+	}
+	if in.M != tr.M {
+		return fmt.Errorf("sim: trace ring size %d != instance %d", tr.M, in.M)
+	}
+	procAt := make(map[[2]int64]int64) // (proc, t) -> units processed
+	sentAt := make(map[int64]int64)    // t -> payload sent
+	deliveredAt := make(map[int64]int64)
+	linkAt := make(map[[3]int64]int64) // (proc, dir, t) -> jobs sent
+
+	var processed, deposited, withdrawn int64
+	for _, ev := range tr.Events {
+		if ev.T < 0 || ev.T >= tr.Steps {
+			return fmt.Errorf("sim: event at t=%d outside run of %d steps", ev.T, tr.Steps)
+		}
+		if ev.Proc < 0 || ev.Proc >= tr.M {
+			return fmt.Errorf("sim: event at nonexistent processor %d", ev.Proc)
+		}
+		switch ev.Kind {
+		case EvProcess:
+			key := [2]int64{int64(ev.Proc), ev.T}
+			procAt[key] += ev.Amount
+			if procAt[key] > tr.speed() {
+				return fmt.Errorf("sim: processor %d processed %d units at t=%d (speed %d)",
+					ev.Proc, procAt[key], ev.T, tr.speed())
+			}
+			processed += ev.Amount
+		case EvSend:
+			sentAt[ev.T] += ev.Amount
+			if tr.LinkCapacity > 0 {
+				key := [3]int64{int64(ev.Proc), int64(ev.Dir), ev.T}
+				linkAt[key] += ev.JobCount
+				if linkAt[key] > tr.LinkCapacity {
+					return fmt.Errorf("sim: link (%d,%s) carried %d jobs at t=%d (cap %d)",
+						ev.Proc, ev.Dir, linkAt[key], ev.T, tr.LinkCapacity)
+				}
+			}
+		case EvDeliver:
+			if ev.T < tr.transit() {
+				return fmt.Errorf("sim: delivery at t=%d before any packet could arrive (transit %d)",
+					ev.T, tr.transit())
+			}
+			deliveredAt[ev.T] += ev.Amount
+		case EvDeposit:
+			deposited += ev.Amount
+		case EvWithdraw:
+			withdrawn += ev.Amount
+		}
+	}
+
+	// Link latency/conservation: payload delivered at t+Transit equals
+	// payload sent at t (every packet crosses one link in Transit steps).
+	tau := tr.transit()
+	for t, sent := range sentAt {
+		if got := deliveredAt[t+tau]; got != sent {
+			return fmt.Errorf("sim: %d work sent at t=%d but %d delivered at t=%d", sent, t, got, t+tau)
+		}
+	}
+	for t, got := range deliveredAt {
+		if sent := sentAt[t-tau]; sent != got {
+			return fmt.Errorf("sim: %d work delivered at t=%d but %d sent at t=%d", got, t, sent, t-tau)
+		}
+	}
+
+	// Work conservation: every initial unit ends up processed, and pools
+	// balance (deposits minus withdrawals equal processed work).
+	if want := in.TotalWork(); processed != want {
+		return fmt.Errorf("sim: processed %d work, instance has %d", processed, want)
+	}
+	if deposited-withdrawn != processed {
+		return fmt.Errorf("sim: pool imbalance: deposited %d, withdrawn %d, processed %d",
+			deposited, withdrawn, processed)
+	}
+	return nil
+}
+
+// GanttUtilization renders a coarse text heat map of processor activity:
+// one row per processor, one column per bucket of steps, characters
+// ' .:-=+*#' by busy fraction. Useful for eyeballing schedules in examples.
+func (tr *Trace) GanttUtilization(cols int) string {
+	if tr == nil || tr.Steps == 0 {
+		return "(empty trace)\n"
+	}
+	if cols < 1 {
+		cols = 60
+	}
+	if int64(cols) > tr.Steps {
+		cols = int(tr.Steps)
+	}
+	busy := make([][]int64, tr.M)
+	for i := range busy {
+		busy[i] = make([]int64, cols)
+	}
+	per := (tr.Steps + int64(cols) - 1) / int64(cols)
+	for _, ev := range tr.Events {
+		if ev.Kind == EvProcess {
+			busy[ev.Proc][ev.T/per]++
+		}
+	}
+	shades := []byte(" .:-=+*#")
+	var b strings.Builder
+	fmt.Fprintf(&b, "utilization (rows=processors, cols=%d buckets of %d steps)\n", cols, per)
+	for i := 0; i < tr.M; i++ {
+		row := make([]byte, cols)
+		for c := 0; c < cols; c++ {
+			frac := float64(busy[i][c]) / float64(per)
+			idx := int(frac * float64(len(shades)-1))
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			row[c] = shades[idx]
+		}
+		fmt.Fprintf(&b, "%4d |%s|\n", i, row)
+	}
+	return b.String()
+}

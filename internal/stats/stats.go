@@ -1,0 +1,175 @@
+// Package stats provides the summary statistics and fixed-bin histograms
+// used to reproduce Figures 2–7 of the paper (frequency of empirical
+// approximation factors per algorithm over the 51-case study).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	Median         float64
+	StdDev         float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation. It panics on an empty sample or out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Lo + Width*len(Counts));
+// values at or above the upper edge land in the overflow bin.
+type Histogram struct {
+	Lo       float64
+	Width    float64
+	Counts   []int
+	Overflow int
+	Under    int // values below Lo (should not occur for approximation factors)
+}
+
+// NewHistogram creates a histogram with the given lower edge, bin width and
+// bin count. The paper's figures use Lo=1.0, Width=0.2.
+func NewHistogram(lo, width float64, bins int) *Histogram {
+	if width <= 0 || bins <= 0 {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Width: width, Counts: make([]int, bins)}
+}
+
+// FigureHistogram returns the bin layout used for Figures 2–7: bins of
+// width 0.2 starting at 1.0 ([1.0,1.2), [1.2,1.4), ... up to hi).
+func FigureHistogram(hi float64) *Histogram {
+	bins := int(math.Ceil((hi - 1.0) / 0.2))
+	if bins < 1 {
+		bins = 1
+	}
+	return NewHistogram(1.0, 0.2, bins)
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	// The epsilon keeps values that are exact bin edges (e.g. 1.2 with
+	// width 0.2) in the upper bin despite float rounding of (x-Lo)/Width.
+	i := int((x-h.Lo)/h.Width + 1e-9)
+	if i >= len(h.Counts) {
+		h.Overflow++
+		return
+	}
+	h.Counts[i] = h.Counts[i] + 1
+}
+
+// AddAll records every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of recorded observations, including under- and
+// overflow.
+func (h *Histogram) Total() int {
+	n := h.Under + h.Overflow
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// BinLabel returns the half-open interval label of bin i, e.g. "[1.0,1.2)".
+func (h *Histogram) BinLabel(i int) string {
+	lo := h.Lo + float64(i)*h.Width
+	return fmt.Sprintf("[%.1f,%.1f)", lo, lo+h.Width)
+}
+
+// Render draws the histogram as a fixed-width text bar chart in the style
+// of the paper's figures (one row per bin, # marks scaled to maxWidth).
+func (h *Histogram) Render(title string, maxWidth int) string {
+	if maxWidth < 1 {
+		maxWidth = 40
+	}
+	peak := 1
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if h.Overflow > peak {
+		peak = h.Overflow
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (n=%d)\n", title, h.Total())
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*maxWidth/peak)
+		fmt.Fprintf(&b, "  %-12s %3d %s\n", h.BinLabel(i), c, bar)
+	}
+	if h.Overflow > 0 {
+		hi := h.Lo + float64(len(h.Counts))*h.Width
+		bar := strings.Repeat("#", h.Overflow*maxWidth/peak)
+		fmt.Fprintf(&b, "  %-12s %3d %s\n", fmt.Sprintf(">=%.1f", hi), h.Overflow, bar)
+	}
+	if h.Under > 0 {
+		fmt.Fprintf(&b, "  %-12s %3d\n", fmt.Sprintf("<%.1f", h.Lo), h.Under)
+	}
+	return b.String()
+}

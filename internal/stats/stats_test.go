@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("bad extremes: %+v", s)
+	}
+	if !almost(s.Mean, 5) {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	if !almost(s.StdDev, 2) { // classic population-stddev example
+		t.Errorf("stddev = %v, want 2", s.StdDev)
+	}
+	if !almost(s.Median, 4.5) {
+		t.Errorf("median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if !almost(s.Median, 5) {
+		t.Errorf("median = %v, want 5", s.Median)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Summarize reordered its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if !almost(Quantile(xs, 0), 1) || !almost(Quantile(xs, 1), 5) {
+		t.Error("extreme quantiles wrong")
+	}
+	if !almost(Quantile(xs, 0.5), 3) {
+		t.Error("median quantile wrong")
+	}
+	if !almost(Quantile(xs, 0.25), 2) {
+		t.Error("quartile wrong")
+	}
+	if !almost(Quantile([]float64{1, 2}, 0.5), 1.5) {
+		t.Error("interpolated quantile wrong")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		n := 1 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(1.0, 0.2, 3) // [1.0,1.2) [1.2,1.4) [1.4,1.6)
+	h.AddAll([]float64{1.0, 1.19, 1.2, 1.59, 1.6, 2.5, 0.9})
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Overflow != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow)
+	}
+	if h.Under != 1 {
+		t.Errorf("under = %d, want 1", h.Under)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d, want 7", h.Total())
+	}
+}
+
+func TestFigureHistogram(t *testing.T) {
+	h := FigureHistogram(3.2)
+	if h.Lo != 1.0 || h.Width != 0.2 {
+		t.Fatalf("figure histogram shape: %+v", h)
+	}
+	if len(h.Counts) != 11 {
+		t.Errorf("bins = %d, want 11", len(h.Counts))
+	}
+	// Degenerate hi still yields at least one bin.
+	if len(FigureHistogram(0.5).Counts) != 1 {
+		t.Error("degenerate figure histogram should have one bin")
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewHistogram(0, 0, 3) },
+		func() { NewHistogram(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBinLabel(t *testing.T) {
+	h := NewHistogram(1.0, 0.2, 2)
+	if got := h.BinLabel(0); got != "[1.0,1.2)" {
+		t.Errorf("BinLabel(0) = %q", got)
+	}
+	if got := h.BinLabel(1); got != "[1.2,1.4)" {
+		t.Errorf("BinLabel(1) = %q", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	h := NewHistogram(1.0, 0.5, 2)
+	h.AddAll([]float64{1.1, 1.1, 1.7, 9.0})
+	out := h.Render("Figure X", 10)
+	for _, want := range []string{"Figure X", "(n=4)", "[1.0,1.5)", ">=2.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// Peak bin gets the full bar width.
+	if !strings.Contains(out, strings.Repeat("#", 10)) {
+		t.Errorf("peak bar not full width:\n%s", out)
+	}
+	// Under bin shows up when populated.
+	h.Add(0.5)
+	if !strings.Contains(h.Render("t", 0), "<1.0") {
+		t.Error("under bin not rendered")
+	}
+}
+
+func TestHistogramTotalMatchesAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	h := FigureHistogram(4.0)
+	n := 500
+	for i := 0; i < n; i++ {
+		h.Add(1 + rng.Float64()*4)
+	}
+	if h.Total() != n {
+		t.Errorf("total = %d, want %d", h.Total(), n)
+	}
+}

@@ -1,0 +1,289 @@
+package torus
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params tune the two-phase torus algorithm.
+type Params struct {
+	// CRow scales the row-phase drop target CRow * (row work seen)^RowExp.
+	CRow float64
+	// RowExp is the row-target exponent. On a torus a length-L schedule
+	// serves ~L^3 work from a point (vs L^2 on a ring), so a pile of W
+	// spreads over ~W^{1/3} rows and columns holding ~W^{2/3} per row —
+	// hence the default exponent 2/3.
+	RowExp float64
+	// CCol scales the column-phase queue target CCol * sqrt(column work
+	// passed), the ring algorithm A's rule applied within a column.
+	CCol float64
+}
+
+// DefaultParams returns the tuned defaults (see the ablation benchmark).
+func DefaultParams() Params { return Params{CRow: 1.0, RowExp: 2.0 / 3, CCol: 1.0} }
+
+func (p Params) orDefault() Params {
+	d := DefaultParams()
+	if p.CRow > 0 {
+		d.CRow = p.CRow
+	}
+	if p.RowExp > 0 {
+		d.RowExp = p.RowExp
+	}
+	if p.CCol > 0 {
+		d.CCol = p.CCol
+	}
+	return d
+}
+
+// Result reports a two-phase run.
+type Result struct {
+	Makespan  int64
+	Steps     int64
+	JobHops   int64
+	Processed []int64
+}
+
+// ErrNotQuiescent mirrors sim.ErrNotQuiescent for the torus engine.
+var ErrNotQuiescent = errors.New("torus: simulation did not quiesce")
+
+// bucket is a travelling pile, moving one hop per step along one
+// dimension.
+type bucket struct {
+	kind    int // 0 = row (moves along columns), 1 = column (moves along rows)
+	origin  int
+	pos     int
+	dir     int // ±1 in its dimension
+	content int64
+	seen    int64 // row buckets: work that originated on the traversed row segment
+	hops    int
+	balance bool
+	per     int64
+}
+
+// TwoPhase schedules unit jobs on an R×C torus with the composed ring
+// strategy: row buckets first spread each pile along its row toward
+// CRow·(seen)^{RowExp} per node; every unit a node receives from the row
+// phase is immediately re-spread along the node's column with the ring
+// algorithm A rule (top the queue up to CCol·sqrt(work passed)). Buckets
+// that circle their ring switch to Lemma 5-style balancing. Everything is
+// local: a bucket knows only what it has traversed, a node only what has
+// passed it.
+func TwoPhase(t Topology, works []int64, params Params) (Result, error) {
+	if len(works) != t.N() {
+		return Result{}, fmt.Errorf("torus: %d loads for %d nodes", len(works), t.N())
+	}
+	for _, x := range works {
+		if x < 0 {
+			return Result{}, fmt.Errorf("torus: negative load")
+		}
+	}
+	p := params.orDefault()
+	n := t.N()
+
+	var total int64
+	for _, x := range works {
+		total += x
+	}
+	res := Result{Processed: make([]int64, n)}
+	if total == 0 {
+		return res, nil
+	}
+	maxSteps := 8*(total+int64(t.R+t.C)) + 64
+
+	pool := make([]int64, n)      // processable work
+	rowRecv := make([]int64, n)   // cumulative row-phase receipts
+	colBuf := make([]int64, n)    // received this step, awaiting column launch
+	passedCol := make([]int64, n) // column work that has passed (A-rule)
+
+	var buckets []bucket
+
+	rowTarget := func(seen int64) int64 {
+		return int64(p.CRow * math.Pow(float64(seen), p.RowExp))
+	}
+
+	// rowDrop applies the row rule at node v, moving work into colBuf.
+	rowDrop := func(b *bucket, v int) {
+		var d int64
+		if b.balance {
+			d = min64(b.content, b.per)
+		} else {
+			d = min64(b.content, max64(0, rowTarget(b.seen)-rowRecv[v]))
+		}
+		if d > 0 {
+			rowRecv[v] += d
+			colBuf[v] += d
+			b.content -= d
+		}
+	}
+
+	// colDrop applies the column A-rule at node v, moving work into pool.
+	colDrop := func(b *bucket, v int) {
+		passedCol[v] += b.content
+		var d int64
+		if b.balance {
+			d = min64(b.content, b.per)
+		} else {
+			target := int64(p.CCol * math.Sqrt(float64(passedCol[v])))
+			d = min64(b.content, max64(0, target-pool[v]))
+		}
+		if d > 0 {
+			pool[v] += d
+			b.content -= d
+		}
+	}
+
+	// launchColumn drains v's column buffer: self-keep by the A-rule, the
+	// remainder splits into north/south buckets.
+	launchColumn := func(v int) {
+		w := colBuf[v]
+		if w == 0 {
+			return
+		}
+		colBuf[v] = 0
+		passedCol[v] += w
+		target := int64(p.CCol * math.Sqrt(float64(passedCol[v])))
+		keep := min64(w, max64(0, target-pool[v]))
+		pool[v] += keep
+		w -= keep
+		if w == 0 || t.R == 1 {
+			pool[v] += w
+			return
+		}
+		north := (w + 1) / 2
+		if north > 0 {
+			buckets = append(buckets, bucket{kind: 1, origin: v, pos: v, dir: +1, content: north})
+		}
+		if south := w - north; south > 0 {
+			buckets = append(buckets, bucket{kind: 1, origin: v, pos: v, dir: -1, content: south})
+		}
+	}
+
+	// t = 0: row launches (self-keep goes straight to the column buffer),
+	// then column launches, then processing.
+	for v := 0; v < n; v++ {
+		x := works[v]
+		if x == 0 {
+			continue
+		}
+		if t.C == 1 {
+			// Degenerate single-column torus: everything is column work.
+			rowRecv[v] = x
+			colBuf[v] = x
+			continue
+		}
+		keep := min64(x, rowTarget(x))
+		rowRecv[v] = keep
+		colBuf[v] = keep
+		rest := x - keep
+		east := (rest + 1) / 2
+		if east > 0 {
+			buckets = append(buckets, bucket{kind: 0, origin: v, pos: v, dir: +1, content: east, seen: x})
+		}
+		if west := rest - east; west > 0 {
+			buckets = append(buckets, bucket{kind: 0, origin: v, pos: v, dir: -1, content: west, seen: x})
+		}
+	}
+	for v := 0; v < n; v++ {
+		launchColumn(v)
+	}
+	for v := 0; v < n; v++ {
+		if pool[v] > 0 {
+			pool[v]--
+			res.Processed[v]++
+			res.Makespan = 1
+		}
+	}
+	res.Steps = 1
+
+	for step := int64(1); ; step++ {
+		if step > maxSteps {
+			return res, fmt.Errorf("%w within %d steps", ErrNotQuiescent, maxSteps)
+		}
+
+		// Advance and drop: all row buckets first, then all column
+		// buckets, in creation order (deterministic).
+		for pass := 0; pass < 2; pass++ {
+			for i := range buckets {
+				b := &buckets[i]
+				if b.kind != pass || b.content == 0 {
+					continue
+				}
+				r, c := t.Coords(b.pos)
+				var ringLen int
+				if b.kind == 0 {
+					c = wrap(c+b.dir, t.C)
+					ringLen = t.C
+				} else {
+					r = wrap(r+b.dir, t.R)
+					ringLen = t.R
+				}
+				b.pos = t.Index(r, c)
+				b.hops++
+				res.JobHops += b.content
+				if b.kind == 0 && !b.balance {
+					b.seen += works[b.pos]
+				}
+				if !b.balance && b.hops >= ringLen {
+					b.balance = true
+					b.per = (b.content + int64(ringLen) - 1) / int64(ringLen)
+				}
+				if b.kind == 0 {
+					rowDrop(b, b.pos)
+				} else {
+					colDrop(b, b.pos)
+				}
+			}
+		}
+
+		// Column launches for freshly received row work.
+		for v := 0; v < n; v++ {
+			if colBuf[v] > 0 {
+				launchColumn(v)
+			}
+		}
+
+		// Processing.
+		busy := false
+		for v := 0; v < n; v++ {
+			if pool[v] > 0 {
+				pool[v]--
+				res.Processed[v]++
+				res.Makespan = step + 1
+				busy = true
+			}
+		}
+		res.Steps = step + 1
+
+		// Quiescence: no in-flight payload (including buckets launched
+		// this step) and no processing happened. Compact dead buckets
+		// while scanning so long runs do not accumulate garbage.
+		alive := buckets[:0]
+		for _, b := range buckets {
+			if b.content > 0 {
+				alive = append(alive, b)
+			}
+		}
+		buckets = alive
+		if len(buckets) == 0 && !busy {
+			break
+		}
+	}
+
+	return res, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

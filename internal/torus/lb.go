@@ -1,0 +1,117 @@
+package torus
+
+// Lower bounds for torus scheduling, generalizing Lemma 1's argument: a
+// processor at distance d from the work can contribute at most (L-d)+
+// processed units to a length-L schedule.
+
+// capacityFromPoint returns how much work starting at a single node can be
+// completed in L steps: sum over all nodes u of (L - d(u))+, computed from
+// the distance histogram.
+func capacityFromPoint(h []int64, L int64) int64 {
+	var cap int64
+	for d, cnt := range h {
+		if int64(d) >= L {
+			break
+		}
+		cap += cnt * (L - int64(d))
+	}
+	return cap
+}
+
+// PointBound returns the smallest L such that every node's pile fits the
+// point capacity: the 2D analogue of Lemma 1 with k=1 (for a pile of W on
+// a wide torus, capacity grows like (2/3)L^3, so L ≈ (3W/2)^{1/3}).
+func PointBound(t Topology, works []int64) int64 {
+	var xmax int64
+	for _, x := range works {
+		if x > xmax {
+			xmax = x
+		}
+	}
+	if xmax == 0 {
+		return 0
+	}
+	h := t.DistanceHistogram()
+	var L int64
+	for capacityFromPoint(h, L) < xmax {
+		L++
+	}
+	return L
+}
+
+// AverageBound returns ceil(n / RC).
+func AverageBound(t Topology, works []int64) int64 {
+	var n int64
+	for _, x := range works {
+		n += x
+	}
+	rc := int64(t.N())
+	return (n + rc - 1) / rc
+}
+
+// DiskBound generalizes the window bound: for every node v and radius
+// rho, the work within distance rho of v must fit the capacity
+// sum_u (L - max(0, d(u,v)-rho))+, because a job starting in the disk
+// needs at least d(u,v)-rho steps to reach u. It scans all centers and
+// radii, so use it on moderate tori (cost O(N * diam^2)).
+func DiskBound(t Topology, works []int64) int64 {
+	h := t.DistanceHistogram()
+	diam := t.MaxDist()
+	n := t.N()
+
+	// diskWork[v][rho] built incrementally: work within distance rho of v.
+	var best int64
+	for v := 0; v < n; v++ {
+		// Work by distance from v.
+		byDist := make([]int64, diam+1)
+		for u := 0; u < n; u++ {
+			if works[u] != 0 {
+				byDist[t.Dist(v, u)] += works[u]
+			}
+		}
+		var S int64
+		for rho := 0; rho <= diam; rho++ {
+			S += byDist[rho]
+			if S == 0 {
+				continue
+			}
+			// Smallest L with capacity(L, rho) >= S. Capacity is
+			// monotone in L; start the scan from the current best (the
+			// bound can only improve on it).
+			L := best
+			for diskCapacity(h, L, rho) < S {
+				L++
+			}
+			if L > best {
+				best = L
+			}
+		}
+	}
+	return best
+}
+
+// diskCapacity returns sum over nodes u of min(L, (L - (d(u)-rho)+)+).
+func diskCapacity(h []int64, L int64, rho int) int64 {
+	var cap int64
+	for d, cnt := range h {
+		eff := int64(d - rho)
+		if eff < 0 {
+			eff = 0
+		}
+		if eff >= L {
+			continue
+		}
+		cap += cnt * (L - eff)
+	}
+	return cap
+}
+
+// Best returns the strongest bound: disk windows (which subsume the point
+// bound at rho=0) and the average bound.
+func Best(t Topology, works []int64) int64 {
+	b := DiskBound(t, works)
+	if a := AverageBound(t, works); a > b {
+		b = a
+	}
+	return b
+}

@@ -1,0 +1,32 @@
+package torus
+
+import (
+	"ringsched/internal/opt"
+)
+
+// Optimal computes the exact optimal schedule length for unit jobs on the
+// torus with unbounded link capacities. The staircase-flow feasibility
+// argument of internal/opt depends only on the shortest-path metric, so
+// the ring solver generalizes unchanged; see opt.MetricFeasible.
+func Optimal(t Topology, works []int64, lim opt.Limits) opt.Result {
+	var total int64
+	for _, x := range works {
+		total += x
+	}
+	if total == 0 {
+		return opt.Result{Length: 0, Exact: true, Method: "closed-form"}
+	}
+	lbV := Best(t, works)
+
+	// Any legal schedule bounds the optimum from above; the two-phase
+	// algorithm provides one.
+	res, err := TwoPhase(t, works, Params{})
+	hi := total
+	if err == nil && res.Makespan > 0 {
+		hi = res.Makespan
+	}
+	if hi < lbV {
+		hi = lbV
+	}
+	return opt.MetricOptimal(works, t.Dist, t.MaxDist(), lbV, hi, lim)
+}

@@ -1,0 +1,85 @@
+// Package torus explores the paper's §8 open problem: simple,
+// small-constant distributed scheduling beyond the ring. It implements an
+// R×C torus (a 2-dimensional ring — every row and every column wraps),
+// a two-phase bucket algorithm that composes the ring machinery along
+// rows and then columns, matching lower bounds, and an exact optimum via
+// the same staircase-flow argument as the ring (internal/opt's metric
+// solver applies to any network with unbounded link capacities).
+//
+// None of this is in the paper — §8 only poses the question — so the
+// algorithm here is this repository's exploration, evaluated empirically
+// in tests and benchmarks rather than backed by a proven constant.
+package torus
+
+import "fmt"
+
+// Topology is an R-row, C-column torus. Node (r,c) has index r*C + c.
+// Both dimensions wrap, so each node has four neighbors (two when a
+// dimension has length 1 or 2 collapses them).
+type Topology struct {
+	R, C int
+}
+
+// New returns an R×C torus topology.
+func New(r, c int) Topology {
+	if r < 1 || c < 1 {
+		panic(fmt.Sprintf("torus: invalid shape %dx%d", r, c))
+	}
+	return Topology{R: r, C: c}
+}
+
+// N returns the number of nodes.
+func (t Topology) N() int { return t.R * t.C }
+
+// Index returns the node id of (row, col), wrapping both coordinates.
+func (t Topology) Index(row, col int) int {
+	row = wrap(row, t.R)
+	col = wrap(col, t.C)
+	return row*t.C + col
+}
+
+// Coords returns (row, col) of a node id.
+func (t Topology) Coords(id int) (row, col int) {
+	return id / t.C, id % t.C
+}
+
+func wrap(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+func wrapDist(a, b, n int) int {
+	d := wrap(a-b, n)
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// Dist returns the shortest-path (Manhattan-with-wrap) distance between
+// two nodes.
+func (t Topology) Dist(i, j int) int {
+	ri, ci := t.Coords(i)
+	rj, cj := t.Coords(j)
+	return wrapDist(ri, rj, t.R) + wrapDist(ci, cj, t.C)
+}
+
+// MaxDist returns the diameter floor(R/2)+floor(C/2).
+func (t Topology) MaxDist() int { return t.R/2 + t.C/2 }
+
+// DistanceHistogram returns H where H[d] is the number of nodes at
+// distance exactly d from any fixed node (the torus is vertex-transitive,
+// so the histogram is center-independent).
+func (t Topology) DistanceHistogram() []int64 {
+	h := make([]int64, t.MaxDist()+1)
+	for r := 0; r < t.R; r++ {
+		for c := 0; c < t.C; c++ {
+			d := wrapDist(r, 0, t.R) + wrapDist(c, 0, t.C)
+			h[d]++
+		}
+	}
+	return h
+}

@@ -1,0 +1,306 @@
+package torus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ringsched/internal/opt"
+)
+
+func TestTopologyBasics(t *testing.T) {
+	top := New(4, 6)
+	if top.N() != 24 {
+		t.Fatalf("N = %d", top.N())
+	}
+	if id := top.Index(5, -1); id != top.Index(1, 5) {
+		t.Errorf("Index wrap broken: %d", id)
+	}
+	r, c := top.Coords(top.Index(3, 2))
+	if r != 3 || c != 2 {
+		t.Errorf("Coords round trip: (%d,%d)", r, c)
+	}
+	if top.MaxDist() != 2+3 {
+		t.Errorf("MaxDist = %d", top.MaxDist())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0,3) did not panic")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestDistProperties(t *testing.T) {
+	top := New(5, 7)
+	n := top.N()
+	f := func(a, b, c int) bool {
+		i, j, k := wrap(a, n), wrap(b, n), wrap(c, n)
+		d := top.Dist(i, j)
+		if d != top.Dist(j, i) {
+			return false // symmetry
+		}
+		if (i == j) != (d == 0) {
+			return false // identity
+		}
+		return top.Dist(i, k) <= d+top.Dist(j, k) // triangle
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistKnownValues(t *testing.T) {
+	top := New(4, 4)
+	cases := []struct {
+		a, b [2]int
+		want int
+	}{
+		{[2]int{0, 0}, [2]int{0, 1}, 1},
+		{[2]int{0, 0}, [2]int{0, 3}, 1}, // wraps
+		{[2]int{0, 0}, [2]int{2, 2}, 4},
+		{[2]int{1, 1}, [2]int{3, 3}, 4},
+		{[2]int{0, 0}, [2]int{3, 1}, 2},
+	}
+	for _, c := range cases {
+		got := top.Dist(top.Index(c.a[0], c.a[1]), top.Index(c.b[0], c.b[1]))
+		if got != c.want {
+			t.Errorf("Dist(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceHistogram(t *testing.T) {
+	top := New(5, 5)
+	h := top.DistanceHistogram()
+	var sum int64
+	for _, c := range h {
+		sum += c
+	}
+	if sum != int64(top.N()) {
+		t.Errorf("histogram sums to %d, want %d", sum, top.N())
+	}
+	if h[0] != 1 {
+		t.Errorf("h[0] = %d", h[0])
+	}
+	if h[1] != 4 { // four neighbors on a torus
+		t.Errorf("h[1] = %d", h[1])
+	}
+}
+
+func TestLowerBoundsOnPile(t *testing.T) {
+	top := New(21, 21)
+	works := make([]int64, top.N())
+	works[top.Index(10, 10)] = 1000
+	pb := PointBound(top, works)
+	// Capacity ~ (2/3)L^3; for W=1000 that is L ~ 11-12.
+	if pb < 9 || pb > 14 {
+		t.Errorf("PointBound = %d, expected ~11", pb)
+	}
+	if ab := AverageBound(top, works); ab != 3 { // ceil(1000/441)
+		t.Errorf("AverageBound = %d", ab)
+	}
+	if db := DiskBound(top, works); db < pb {
+		t.Errorf("DiskBound %d below PointBound %d", db, pb)
+	}
+	if b := Best(top, works); b < pb {
+		t.Errorf("Best %d below components", b)
+	}
+}
+
+func TestTwoPhaseConservesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		top := New(2+rng.Intn(6), 2+rng.Intn(6))
+		works := make([]int64, top.N())
+		var total int64
+		for i := range works {
+			if rng.Intn(3) == 0 {
+				works[i] = int64(rng.Intn(200))
+				total += works[i]
+			}
+		}
+		res, err := TwoPhase(top, works, Params{})
+		if err != nil {
+			t.Fatalf("trial %d (%dx%d): %v", trial, top.R, top.C, err)
+		}
+		var done int64
+		for _, p := range res.Processed {
+			done += p
+		}
+		if done != total {
+			t.Errorf("trial %d: processed %d of %d", trial, done, total)
+		}
+	}
+}
+
+func TestTwoPhaseNeverBeatsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		top := New(3+rng.Intn(5), 3+rng.Intn(5))
+		works := make([]int64, top.N())
+		for i := range works {
+			works[i] = int64(rng.Intn(50))
+		}
+		res, err := TwoPhase(top, works, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := Best(top, works); res.Makespan < b {
+			t.Errorf("trial %d: makespan %d beats LB %d", trial, res.Makespan, b)
+		}
+	}
+}
+
+func TestTwoPhaseAgainstExactOptimum(t *testing.T) {
+	// The §8 exploration carries no proven constant; assert the
+	// empirically observed regime (worst ~3.2 on these families) with
+	// headroom, and log the measured worst.
+	rng := rand.New(rand.NewSource(29))
+	var worst float64
+	check := func(top Topology, works []int64) {
+		res, err := TwoPhase(top, works, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := Optimal(top, works, opt.Limits{})
+		if !o.Exact {
+			t.Fatalf("optimum not exact on %dx%d", top.R, top.C)
+		}
+		if o.Length == 0 {
+			return
+		}
+		f := float64(res.Makespan) / float64(o.Length)
+		if f > worst {
+			worst = f
+		}
+		if f > 5.0 {
+			t.Errorf("%dx%d: factor %.2f out of the observed regime (makespan %d, opt %d)",
+				top.R, top.C, f, res.Makespan, o.Length)
+		}
+	}
+	// Piles.
+	for _, shape := range [][2]int{{8, 8}, {12, 6}, {5, 17}} {
+		top := New(shape[0], shape[1])
+		works := make([]int64, top.N())
+		works[0] = 2000
+		check(top, works)
+	}
+	// Random loads.
+	for trial := 0; trial < 6; trial++ {
+		top := New(4+rng.Intn(6), 4+rng.Intn(6))
+		works := make([]int64, top.N())
+		for i := range works {
+			works[i] = int64(rng.Intn(40))
+		}
+		check(top, works)
+	}
+	t.Logf("worst two-phase factor vs exact optimum: %.2f", worst)
+}
+
+func TestTwoPhaseSinglePileScaling(t *testing.T) {
+	// Makespan should scale like W^{1/3} on a wide torus: multiplying W
+	// by 8 should roughly double it.
+	top := New(40, 40)
+	run := func(W int64) int64 {
+		works := make([]int64, top.N())
+		works[top.Index(20, 20)] = W
+		res, err := TwoPhase(top, works, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	m1, m8 := run(2000), run(16000)
+	ratio := float64(m8) / float64(m1)
+	if ratio < 1.4 || ratio > 3.0 {
+		t.Errorf("8x work scaled makespan by %.2f (from %d to %d), expected ~2 for cube-root growth",
+			ratio, m1, m8)
+	}
+}
+
+func TestTwoPhaseDegenerateShapes(t *testing.T) {
+	// 1xC and Rx1 tori are rings; the algorithm must still work.
+	for _, shape := range [][2]int{{1, 12}, {12, 1}, {1, 1}, {2, 2}} {
+		top := New(shape[0], shape[1])
+		works := make([]int64, top.N())
+		works[0] = 100
+		res, err := TwoPhase(top, works, Params{})
+		if err != nil {
+			t.Fatalf("%dx%d: %v", shape[0], shape[1], err)
+		}
+		var done int64
+		for _, p := range res.Processed {
+			done += p
+		}
+		if done != 100 {
+			t.Errorf("%dx%d: processed %d of 100", shape[0], shape[1], done)
+		}
+	}
+}
+
+func TestTwoPhaseInputValidation(t *testing.T) {
+	top := New(2, 2)
+	if _, err := TwoPhase(top, []int64{1}, Params{}); err == nil {
+		t.Error("short works accepted")
+	}
+	if _, err := TwoPhase(top, []int64{1, -1, 0, 0}, Params{}); err == nil {
+		t.Error("negative load accepted")
+	}
+	res, err := TwoPhase(top, []int64{0, 0, 0, 0}, Params{})
+	if err != nil || res.Makespan != 0 {
+		t.Errorf("empty torus: %+v, %v", res, err)
+	}
+}
+
+func TestTwoPhaseDeterministic(t *testing.T) {
+	top := New(6, 7)
+	works := make([]int64, top.N())
+	rng := rand.New(rand.NewSource(41))
+	for i := range works {
+		works[i] = int64(rng.Intn(90))
+	}
+	a, err := TwoPhase(top, works, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TwoPhase(top, works, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.JobHops != b.JobHops {
+		t.Error("two-phase run is nondeterministic")
+	}
+}
+
+func TestOptimalTorusSanity(t *testing.T) {
+	// Uniform load: nothing should move, OPT = per-node load.
+	top := New(4, 4)
+	works := make([]int64, top.N())
+	for i := range works {
+		works[i] = 7
+	}
+	o := Optimal(top, works, opt.Limits{})
+	if !o.Exact || o.Length != 7 {
+		t.Errorf("uniform torus optimum: %+v", o)
+	}
+	// Empty.
+	o = Optimal(top, make([]int64, top.N()), opt.Limits{})
+	if !o.Exact || o.Length != 0 {
+		t.Errorf("empty torus optimum: %+v", o)
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := (Params{}).orDefault()
+	if p.CRow != 1.0 || p.CCol != 1.0 || p.RowExp < 0.6 || p.RowExp > 0.7 {
+		t.Errorf("defaults: %+v", p)
+	}
+	q := (Params{CRow: 2, RowExp: 0.5, CCol: 3}).orDefault()
+	if q.CRow != 2 || q.RowExp != 0.5 || q.CCol != 3 {
+		t.Errorf("override lost: %+v", q)
+	}
+}

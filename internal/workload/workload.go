@@ -1,0 +1,203 @@
+// Package workload generates the paper's test inputs: the 51 cases of
+// Table 1 (36 structured + 9 uniform random + 6 evil adversary) plus
+// general-purpose generators for the extended experiments.
+//
+// Everything is seeded and deterministic: generating the suite twice
+// yields identical instances, so the Figures 2–7 reproduction is exactly
+// repeatable. Where Table 1 under-specifies a parameter (the size of a
+// "region", the inclusivity of rand(100), the adversary's region), the
+// choice made here is documented on the generator (and in DESIGN.md §5).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ringsched/internal/adversary"
+	"ringsched/internal/instance"
+)
+
+// Case is one experiment input.
+type Case struct {
+	ID    string // stable identifier, e.g. "I-m100-region-huge"
+	Group string // "structured", "random" or "adversary"
+	Seed  int64  // RNG seed used (0 when deterministic)
+	In    instance.Instance
+}
+
+// The heavy-load levels of Table 1 part I.
+const (
+	Huge  int64 = 100_000
+	Large int64 = 10_000
+	Big   int64 = 1_000
+)
+
+// RegionSize is the number of consecutive heavily loaded processors in the
+// "concentrated in a region" distributions. Table 1 leaves it unspecified;
+// we use max(2, m/10).
+func RegionSize(m int) int {
+	r := m / 10
+	if r < 2 {
+		r = 2
+	}
+	if r > m {
+		r = m
+	}
+	return r
+}
+
+// Point puts heavy jobs on processor 0 of an m-ring, zero elsewhere
+// (distribution 1 of Table 1 part I).
+func Point(m int, heavy int64) instance.Instance {
+	works := make([]int64, m)
+	works[0] = heavy
+	return instance.NewUnit(works)
+}
+
+// Region puts heavy jobs on each of the RegionSize(m) processors starting
+// at 0 (distribution 2).
+func Region(m int, heavy int64) instance.Instance {
+	works := make([]int64, m)
+	for i := 0; i < RegionSize(m); i++ {
+		works[i] = heavy
+	}
+	return instance.NewUnit(works)
+}
+
+// PointPlusRandom is distribution 3: heavy on processor 0, rand(100) on
+// every other processor. rand(100) draws uniformly from {0, ..., 100}.
+func PointPlusRandom(m int, heavy, seed int64) instance.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	works := make([]int64, m)
+	for i := 1; i < m; i++ {
+		works[i] = rng.Int63n(101)
+	}
+	works[0] = heavy
+	return instance.NewUnit(works)
+}
+
+// RegionPlusRandom is distribution 4: heavy on the region, rand(100)
+// elsewhere.
+func RegionPlusRandom(m int, heavy, seed int64) instance.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	works := make([]int64, m)
+	r := RegionSize(m)
+	for i := r; i < m; i++ {
+		works[i] = rng.Int63n(101)
+	}
+	for i := 0; i < r; i++ {
+		works[i] = heavy
+	}
+	return instance.NewUnit(works)
+}
+
+// Uniform is Table 1 part II: every processor draws uniformly from
+// {0, ..., hi}.
+func Uniform(m int, hi, seed int64) instance.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	works := make([]int64, m)
+	for i := range works {
+		works[i] = rng.Int63n(hi + 1)
+	}
+	return instance.NewUnit(works)
+}
+
+// RandomSized draws a sized instance for the §4.2 experiments: each
+// processor receives jobs/proc jobs (uniform 0..jobs), each of size
+// uniform 1..pmax.
+func RandomSized(m int, jobs int, pmax, seed int64) instance.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]int64, m)
+	for i := range rows {
+		k := rng.Intn(jobs + 1)
+		row := make([]int64, k)
+		for j := range row {
+			row[j] = 1 + rng.Int63n(pmax)
+		}
+		rows[i] = row
+	}
+	return instance.NewSized(rows)
+}
+
+var ringSizes = []int{10, 100, 1000}
+
+// Structured returns the 36 cases of Table 1 part I.
+func Structured() []Case {
+	levels := []struct {
+		name  string
+		heavy int64
+	}{{"huge", Huge}, {"large", Large}, {"big", Big}}
+	var cases []Case
+	for _, m := range ringSizes {
+		for _, lvl := range levels {
+			seedBase := int64(1000*m) + lvl.heavy // stable per (m, level)
+			cases = append(cases,
+				Case{ID: fmt.Sprintf("I-m%d-point-%s", m, lvl.name), Group: "structured",
+					In: Point(m, lvl.heavy)},
+				Case{ID: fmt.Sprintf("I-m%d-region-%s", m, lvl.name), Group: "structured",
+					In: Region(m, lvl.heavy)},
+				Case{ID: fmt.Sprintf("I-m%d-point+rand-%s", m, lvl.name), Group: "structured",
+					Seed: seedBase + 3, In: PointPlusRandom(m, lvl.heavy, seedBase+3)},
+				Case{ID: fmt.Sprintf("I-m%d-region+rand-%s", m, lvl.name), Group: "structured",
+					Seed: seedBase + 4, In: RegionPlusRandom(m, lvl.heavy, seedBase+4)},
+			)
+		}
+	}
+	return cases
+}
+
+// Random returns the 9 cases of Table 1 part II. The paper pairs the load
+// ranges {100, 500, 1000} with all three ring sizes.
+func Random() []Case {
+	var cases []Case
+	for _, m := range ringSizes {
+		for _, hi := range []int64{100, 500, 1000} {
+			seed := int64(77*m) + hi
+			cases = append(cases, Case{
+				ID:    fmt.Sprintf("II-m%d-rand%d", m, hi),
+				Group: "random",
+				Seed:  seed,
+				In:    Uniform(m, hi, seed),
+			})
+		}
+	}
+	return cases
+}
+
+// Adversary returns the 6 cases of Table 1 part III: rings {100, 1000}
+// crossed with the adversary's choice of L in {10, 100, 500} (the values
+// visible in the paper's table). The region size is the adversary's
+// optimal choice (see adversary.EvilRegion).
+func Adversary() []Case {
+	var cases []Case
+	for _, m := range []int{100, 1000} {
+		for _, L := range []int64{10, 100, 500} {
+			cases = append(cases, Case{
+				ID:    fmt.Sprintf("III-m%d-L%d", m, L),
+				Group: "adversary",
+				In:    adversary.Evil(m, L, adversary.EvilRegion(m, L), 0),
+			})
+		}
+	}
+	return cases
+}
+
+// Suite returns all 51 test cases of Table 1, in the paper's order
+// (structured, random, adversary).
+func Suite() []Case {
+	var cases []Case
+	cases = append(cases, Structured()...)
+	cases = append(cases, Random()...)
+	cases = append(cases, Adversary()...)
+	return cases
+}
+
+// ByID returns the suite case with the given ID.
+func ByID(id string) (Case, error) {
+	for _, c := range Suite() {
+		if c.ID == id {
+			return c, nil
+		}
+	}
+	return Case{}, fmt.Errorf("workload: unknown case %q", id)
+}

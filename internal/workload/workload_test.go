@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSuiteHas51Cases(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 51 {
+		t.Fatalf("suite has %d cases, want 51", len(suite))
+	}
+	counts := map[string]int{}
+	ids := map[string]bool{}
+	for _, c := range suite {
+		counts[c.Group]++
+		if ids[c.ID] {
+			t.Errorf("duplicate case id %q", c.ID)
+		}
+		ids[c.ID] = true
+		if err := c.In.Validate(); err != nil {
+			t.Errorf("case %s invalid: %v", c.ID, err)
+		}
+	}
+	if counts["structured"] != 36 || counts["random"] != 9 || counts["adversary"] != 6 {
+		t.Errorf("group counts = %v, want 36/9/6", counts)
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a, b := Suite(), Suite()
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("case order changed at %d", i)
+		}
+		aw, bw := a[i].In.Works(), b[i].In.Works()
+		for j := range aw {
+			if aw[j] != bw[j] {
+				t.Fatalf("case %s not deterministic at processor %d", a[i].ID, j)
+			}
+		}
+	}
+}
+
+func TestRegionSize(t *testing.T) {
+	cases := []struct{ m, want int }{{10, 2}, {100, 10}, {1000, 100}, {5, 2}, {1, 1}, {2, 2}}
+	for _, c := range cases {
+		if got := RegionSize(c.m); got != c.want {
+			t.Errorf("RegionSize(%d) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestPoint(t *testing.T) {
+	in := Point(10, Huge)
+	if in.Unit[0] != 100_000 || in.TotalWork() != 100_000 {
+		t.Errorf("Point wrong: %v", in.Unit[:3])
+	}
+}
+
+func TestRegion(t *testing.T) {
+	in := Region(100, Big)
+	for i := 0; i < 10; i++ {
+		if in.Unit[i] != 1000 {
+			t.Errorf("Region works[%d] = %d", i, in.Unit[i])
+		}
+	}
+	if in.Unit[10] != 0 {
+		t.Error("Region leaked outside")
+	}
+	if in.TotalWork() != 10_000 {
+		t.Errorf("Region total = %d", in.TotalWork())
+	}
+}
+
+func TestPointPlusRandom(t *testing.T) {
+	in := PointPlusRandom(50, Large, 7)
+	if in.Unit[0] != 10_000 {
+		t.Error("heavy processor wrong")
+	}
+	var nonzero int
+	for i := 1; i < 50; i++ {
+		if in.Unit[i] < 0 || in.Unit[i] > 100 {
+			t.Errorf("background load %d out of rand(100) range", in.Unit[i])
+		}
+		if in.Unit[i] > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("background suspiciously all zero")
+	}
+	// Same seed, same instance.
+	again := PointPlusRandom(50, Large, 7)
+	for i := range in.Unit {
+		if in.Unit[i] != again.Unit[i] {
+			t.Fatal("PointPlusRandom not deterministic")
+		}
+	}
+}
+
+func TestRegionPlusRandom(t *testing.T) {
+	in := RegionPlusRandom(100, Big, 3)
+	for i := 0; i < 10; i++ {
+		if in.Unit[i] != 1000 {
+			t.Errorf("region cell %d = %d", i, in.Unit[i])
+		}
+	}
+	for i := 10; i < 100; i++ {
+		if in.Unit[i] > 100 {
+			t.Errorf("background %d out of range", in.Unit[i])
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	in := Uniform(1000, 500, 99)
+	var max int64
+	for _, x := range in.Unit {
+		if x < 0 || x > 500 {
+			t.Fatalf("uniform draw %d out of range", x)
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if max < 400 {
+		t.Errorf("uniform draws suspiciously low (max %d)", max)
+	}
+}
+
+func TestRandomSized(t *testing.T) {
+	in := RandomSized(60, 5, 30, 11)
+	if in.IsUnit() {
+		t.Fatal("RandomSized returned unit instance")
+	}
+	for i, row := range in.Sized {
+		if len(row) > 5 {
+			t.Errorf("processor %d has %d jobs", i, len(row))
+		}
+		for _, p := range row {
+			if p < 1 || p > 30 {
+				t.Errorf("job size %d out of range", p)
+			}
+		}
+	}
+	if in.TotalWork() == 0 {
+		t.Error("sized instance empty")
+	}
+}
+
+func TestAdversaryCases(t *testing.T) {
+	cases := Adversary()
+	if len(cases) != 6 {
+		t.Fatalf("adversary cases = %d", len(cases))
+	}
+	for _, c := range cases {
+		if !strings.HasPrefix(c.ID, "III-") {
+			t.Errorf("bad adversary id %q", c.ID)
+		}
+	}
+	// III-m100-L500 must clamp the region to the ring.
+	c, err := ByID("III-m100-L500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.In.M != 100 {
+		t.Errorf("ring size %d", c.In.M)
+	}
+	if c.In.Unit[1] != 500*500 {
+		t.Errorf("adversary heavy cell = %d", c.In.Unit[1])
+	}
+}
+
+func TestByID(t *testing.T) {
+	c, err := ByID("II-m10-rand100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Group != "random" || c.In.M != 10 {
+		t.Errorf("ByID returned %+v", c)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID accepted junk")
+	}
+}
+
+func TestStructuredIDsCoverGrid(t *testing.T) {
+	want := []string{
+		"I-m10-point-huge", "I-m1000-region+rand-big", "I-m100-point+rand-large",
+	}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("missing structured case %s", id)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package ringsched_test
+
+import (
+	"math"
+	"testing"
+
+	"ringsched"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	in := ringsched.UnitInstance([]int64{100, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	res, err := ringsched.Schedule(in, ringsched.C1(), ringsched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ringsched.Optimal(in, ringsched.OptLimits{})
+	if !o.Exact {
+		t.Fatalf("optimum not exact: %+v", o)
+	}
+	if res.Makespan < o.Length {
+		t.Fatalf("makespan %d beats optimum %d", res.Makespan, o.Length)
+	}
+	if f := float64(res.Makespan) / float64(o.Length); f > 4.22 {
+		t.Errorf("C1 factor %.2f above guarantee", f)
+	}
+}
+
+func TestAllPublicAlgorithmsAgree(t *testing.T) {
+	in := ringsched.UnitInstance([]int64{40, 0, 12, 0, 0, 7, 0, 0})
+	specs := []ringsched.Spec{
+		ringsched.A1(), ringsched.B1(), ringsched.C1(),
+		ringsched.A2(), ringsched.B2(), ringsched.C2(),
+	}
+	bound := ringsched.LowerBound(in)
+	for _, spec := range specs {
+		seq, err := ringsched.Schedule(in, spec, ringsched.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conc, err := ringsched.ScheduleDistributed(in, spec, ringsched.DistOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Makespan != conc.Makespan {
+			t.Errorf("%s: sequential %d != distributed %d", spec.Name(), seq.Makespan, conc.Makespan)
+		}
+		if seq.Makespan < bound {
+			t.Errorf("%s beats the lower bound", spec.Name())
+		}
+	}
+}
+
+func TestAlgorithmByName(t *testing.T) {
+	spec, err := ringsched.AlgorithmByName("A2")
+	if err != nil || spec.Name() != "A2" {
+		t.Errorf("AlgorithmByName: %+v, %v", spec, err)
+	}
+	if _, err := ringsched.AlgorithmByName("nope"); err == nil {
+		t.Error("junk name accepted")
+	}
+}
+
+func TestCapacitatedPublicAPI(t *testing.T) {
+	works := make([]int64, 12)
+	works[6] = 60
+	in := ringsched.UnitInstance(works)
+	res, err := ringsched.Schedule(in, ringsched.Capacitated{}, ringsched.CapacitatedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ringsched.OptimalCapacitated(in, ringsched.OptLimits{})
+	if !o.Exact {
+		t.Fatalf("capacitated optimum not exact: %+v", o)
+	}
+	if res.Makespan > 2*o.Length+2 {
+		t.Errorf("capacitated makespan %d breaks Theorem 3's 2L+2 (L=%d)", res.Makespan, o.Length)
+	}
+	if res.Makespan < ringsched.CapacitatedLowerBound(in) {
+		t.Error("beats capacitated lower bound")
+	}
+}
+
+func TestSizedInstancePublicAPI(t *testing.T) {
+	in := ringsched.SizedInstance([][]int64{{30, 5}, {}, {2, 2}, {}})
+	res, err := ringsched.Schedule(in, ringsched.C2(), ringsched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan < in.PMax() {
+		t.Error("makespan below p_max")
+	}
+}
+
+func TestFractionalPublicAPI(t *testing.T) {
+	works := make([]int64, 100)
+	works[50] = 400
+	in := ringsched.UnitInstance(works)
+	fr := ringsched.RunFractional(in, ringsched.C1())
+	intRes, err := ringsched.Schedule(in, ringsched.C1(), ringsched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 6: integral within 2 of fractional.
+	if float64(intRes.Makespan) > fr.Makespan+2.0001 {
+		t.Errorf("integral %d vs fractional %.2f", intRes.Makespan, fr.Makespan)
+	}
+}
+
+func TestScheduleScaled(t *testing.T) {
+	in := ringsched.SizedInstance([][]int64{{40, 20}, {}, {}, {10}})
+	// Speed 2, transit 5: all sizes divisible by 10.
+	res, err := ringsched.ScheduleScaled(in, ringsched.C1(), 2, 5, ringsched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speed != 2 || res.Transit != 5 {
+		t.Errorf("scale params lost: %+v", res)
+	}
+	if res.Makespan%5 != 0 {
+		t.Errorf("scaled makespan %d not a transit multiple", res.Makespan)
+	}
+	// Indivisible sizes are rejected.
+	if _, err := ringsched.ScheduleScaled(in, ringsched.C1(), 3, 1, ringsched.Options{}); err == nil {
+		t.Error("indivisible sizes accepted")
+	}
+}
+
+func TestEvilInstance(t *testing.T) {
+	in := ringsched.EvilInstance(100, 10)
+	if ringsched.LowerBound(in) != 10 {
+		t.Errorf("evil instance LB = %d, want 10", ringsched.LowerBound(in))
+	}
+	res, err := ringsched.Schedule(in, ringsched.C1(), ringsched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ringsched.Optimal(in, ringsched.OptLimits{})
+	if f := float64(res.Makespan) / float64(o.Length); f > 4.22 {
+		t.Errorf("C1 factor %.2f on its own adversary", f)
+	}
+}
+
+func TestPaperSuiteShape(t *testing.T) {
+	suite := ringsched.PaperSuite()
+	if len(suite) != 51 {
+		t.Fatalf("suite = %d cases", len(suite))
+	}
+}
+
+func TestRunPaperExperimentsSubset(t *testing.T) {
+	suite := ringsched.PaperSuite()
+	rep, err := ringsched.RunPaperExperiments(suite[8:12], ringsched.ExperimentOptions{
+		Algorithms: []string{"C1", "A2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cases) != 4 {
+		t.Fatalf("cases = %d", len(rep.Cases))
+	}
+	if w, _ := rep.Worst("C1", false); w > 4.22 || w < 1 {
+		t.Errorf("C1 worst %.2f out of range", w)
+	}
+}
+
+func TestSinglePileOptimalMatchesSqrt(t *testing.T) {
+	for _, W := range []int64{50, 500, 5000} {
+		works := make([]int64, 300)
+		works[0] = W
+		o := ringsched.Optimal(ringsched.UnitInstance(works), ringsched.OptLimits{})
+		want := int64(math.Ceil(math.Sqrt(float64(W))))
+		if o.Length != want {
+			t.Errorf("pile %d: opt %d, want %d", W, o.Length, want)
+		}
+	}
+}
