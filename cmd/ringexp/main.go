@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	ringexp [-algs A1,C2] [-group structured|random|adversary]
-//	        [-deadline 15s] [-markdown] [-quiet]
+//	ringexp [-algs A1,C2] [-group structured|random|adversary] [-case id]
+//	        [-deadline 15s] [-markdown] [-quiet] [-metrics]
+//	        [-trace-out suite.jsonl] [-progress] [-debug-addr :6060]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"ringsched/internal/cli"
 	"ringsched/internal/experiment"
 	"ringsched/internal/opt"
 	"ringsched/internal/workload"
@@ -34,14 +36,27 @@ func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("ringexp", flag.ContinueOnError)
 	algs := fs.String("algs", "", "comma-separated algorithms (default: all six)")
 	group := fs.String("group", "", "restrict to one Table 1 group: structured, random or adversary")
+	caseID := fs.String("case", "", "restrict to one Table 1 case id, e.g. III-m100-L10")
 	deadline := fs.Duration("deadline", 15*time.Second, "per-case budget for the exact optimum solver")
 	maxArcs := fs.Int("maxarcs", 0, "cap the optimum solver's network size (0 = default); smaller falls back to lower bounds sooner")
 	markdown := fs.Bool("markdown", false, "emit the EXPERIMENTS.md tables after the histograms")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
 	quiet := fs.Bool("quiet", false, "suppress per-case progress lines")
 	capStudy := fs.Bool("cap", false, "run the §7 capacitated study instead of the §6 suite")
+	withMetrics := fs.Bool("metrics", false, "collect per-run telemetry and print the per-algorithm table")
+	traceOut := fs.String("trace-out", "", "write every run's event trace and metrics as JSONL to this file")
+	progress := fs.Bool("progress", false, "live suite status line (cases done / deadline hits / elapsed) on stderr")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address, e.g. localhost:6060")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *debugAddr != "" {
+		addr, err := cli.StartDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "debug server: http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
 
 	if *capStudy {
@@ -54,7 +69,14 @@ func run(args []string, out, errw io.Writer) error {
 	}
 
 	cases := workload.Suite()
-	if *group != "" {
+	switch {
+	case *caseID != "":
+		c, err := workload.ByID(*caseID)
+		if err != nil {
+			return err
+		}
+		cases = []workload.Case{c}
+	case *group != "":
 		var filtered []workload.Case
 		for _, c := range cases {
 			if c.Group == *group {
@@ -67,12 +89,41 @@ func run(args []string, out, errw io.Writer) error {
 		cases = filtered
 	}
 
-	o := experiment.Options{OptLimits: opt.Limits{Deadline: *deadline, MaxArcs: *maxArcs}}
+	o := experiment.Options{
+		OptLimits: opt.Limits{Deadline: *deadline, MaxArcs: *maxArcs},
+		Metrics:   *withMetrics,
+	}
 	if *algs != "" {
 		o.Algorithms = strings.Split(*algs, ",")
 	}
 	if !*quiet {
 		o.Progress = func(line string) { fmt.Fprintln(errw, line) }
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		o.TraceOut = f
+	}
+
+	// Live telemetry: a status line on stderr and/or expvar counters on
+	// the debug server, both fed by the same per-case snapshots.
+	casesDone := cli.DebugVar("ringexp.cases_done")
+	deadlineHits := cli.DebugVar("ringexp.deadline_hits")
+	casesDone.Set(0)
+	deadlineHits.Set(0)
+	o.OnProgress = func(p experiment.Progress) {
+		casesDone.Set(int64(p.Done))
+		deadlineHits.Set(int64(p.DeadlineHits))
+		if *progress {
+			fmt.Fprintf(errw, "\r[%d/%d] %-28s deadline-hits=%d elapsed=%s ",
+				p.Done, p.Total, p.CaseID, p.DeadlineHits, p.Elapsed.Round(time.Second))
+			if p.Done == p.Total {
+				fmt.Fprintln(errw)
+			}
+		}
 	}
 
 	rep, err := experiment.RunSuite(cases, o)
@@ -93,6 +144,10 @@ func run(args []string, out, errw io.Writer) error {
 	}
 
 	fmt.Fprint(out, rep.RenderFigures())
+	if *withMetrics {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, rep.RenderTelemetry())
+	}
 	if *markdown {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, rep.Markdown())

@@ -1,7 +1,12 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"expvar"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -40,9 +45,142 @@ func TestExpErrors(t *testing.T) {
 		{"-group", "bogus"},
 		{"-algs", "Z9"},
 		{"-flagtypo"},
+		{"-case", "no-such-case"},
+		{"-case", "III-m100-L10", "-trace-out", t.TempDir()}, // unwritable export path
+		{"-debug-addr", "bad::addr"},
 	} {
 		if err := run(args, &out, &errw); err == nil {
 			t.Errorf("run(%v) succeeded", args)
 		}
+	}
+}
+
+// TestExpMetricsTraceAcceptance is the ISSUE's acceptance check: running
+// one Table 1 case with -metrics -trace-out must emit schema-valid JSONL
+// whose aggregate counters exactly match the report's Run counters.
+func TestExpMetricsTraceAcceptance(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "out.jsonl")
+	var out, errw bytes.Buffer
+	err := run([]string{"-case", "III-m100-L10", "-algs", "A2,C1", "-metrics",
+		"-trace-out", tracePath, "-progress", "-quiet", "-json",
+		"-deadline", "20s", "-maxarcs", "300000"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The report's own counters, per algorithm.
+	var rep struct {
+		Schema string `json:"schema"`
+		Cases  []struct {
+			Runs map[string]struct {
+				JobHops  int64 `json:"jobHops"`
+				Messages int64 `json:"messages"`
+			} `json:"runs"`
+		} `json:"cases"`
+		Telemetry map[string]struct {
+			Cases int `json:"cases"`
+		} `json:"telemetry"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if rep.Schema != "ringsched.report/v2" || len(rep.Cases) != 1 {
+		t.Fatalf("report: schema=%q cases=%d", rep.Schema, len(rep.Cases))
+	}
+	if rep.Telemetry["A2"].Cases != 1 || rep.Telemetry["C1"].Cases != 1 {
+		t.Errorf("telemetry aggregates: %+v", rep.Telemetry)
+	}
+
+	// The JSONL export: every line valid JSON; per-algorithm sections in
+	// order; trace events and metrics summaries both aggregate to the
+	// report's counters.
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	type counters struct{ hops, msgs int64 }
+	fromEvents := map[string]counters{}
+	fromSummary := map[string]counters{}
+	var alg string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec struct {
+			Schema   string `json:"schema"`
+			Kind     string `json:"kind"`
+			Case     string `json:"case"`
+			Alg      string `json:"alg"`
+			Ev       string `json:"ev"`
+			Amount   int64  `json:"amount"`
+			JobHops  int64  `json:"jobHops"`
+			Messages int64  `json:"messages"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		switch rec.Kind {
+		case "header":
+			if rec.Schema == "" || rec.Case != "III-m100-L10" {
+				t.Fatalf("header: %s", sc.Text())
+			}
+			alg = rec.Alg
+		case "event":
+			c := fromEvents[alg]
+			switch rec.Ev {
+			case "send":
+				c.hops += rec.Amount
+			case "deliver":
+				c.msgs++
+			}
+			fromEvents[alg] = c
+		case "summary":
+			fromSummary[alg] = counters{rec.JobHops, rec.Messages}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range rep.Cases[0].Runs {
+		want := counters{run.JobHops, run.Messages}
+		if fromEvents[name] != want {
+			t.Errorf("%s: trace events aggregate to %+v, report says %+v", name, fromEvents[name], want)
+		}
+		if fromSummary[name] != want {
+			t.Errorf("%s: metrics summary %+v, report says %+v", name, fromSummary[name], want)
+		}
+	}
+
+	// -progress printed the live status line despite -quiet.
+	if !strings.Contains(errw.String(), "[1/1] III-m100-L10") {
+		t.Errorf("live progress line missing from stderr: %s", errw.String())
+	}
+}
+
+func TestExpCaseMetricsText(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-case", "II-m10-rand100", "-algs", "C1", "-metrics", "-quiet",
+		"-deadline", "20s", "-maxarcs", "300000"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "telemetry over 1 cases") || !strings.Contains(s, "link util (max)") {
+		t.Errorf("telemetry table missing:\n%s", s)
+	}
+}
+
+func TestExpDebugAddr(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-case", "II-m10-rand100", "-algs", "A1", "-quiet",
+		"-debug-addr", "127.0.0.1:0", "-deadline", "20s", "-maxarcs", "300000"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "debug server: http://127.0.0.1:") {
+		t.Errorf("stderr: %s", errw.String())
+	}
+	if v := expvar.Get("ringexp.cases_done").String(); v != "1" {
+		t.Errorf("expvar cases_done = %s, want 1", v)
 	}
 }

@@ -11,6 +11,7 @@
 //	ringsched -case II-m100-rand500 -alg A2 -opt
 //	ringsched -in instance.json -alg cap -gantt
 //	ringsched -loads 60,0,0,0,0,0 -alg C2 -distributed
+//	ringsched -case III-m100-L10 -alg C1 -metrics -trace-out run.jsonl
 package main
 
 import (
@@ -22,16 +23,17 @@ import (
 	"ringsched"
 	"ringsched/internal/capring"
 	"ringsched/internal/cli"
+	"ringsched/internal/stats"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "ringsched: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("ringsched", flag.ContinueOnError)
 	inFile := fs.String("in", "", "instance JSON file")
 	loads := fs.String("loads", "", "inline comma-separated unit loads, e.g. 100,0,0,25")
@@ -40,8 +42,20 @@ func run(args []string, out io.Writer) error {
 	showOpt := fs.Bool("opt", false, "also compute the exact optimum / lower bound")
 	gantt := fs.Bool("gantt", false, "print a utilization heat map of the schedule")
 	distributed := fs.Bool("distributed", false, "run on the goroutine-per-processor runtime")
+	showMetrics := fs.Bool("metrics", false, "collect run telemetry and print the summary")
+	traceOut := fs.String("trace-out", "", "write the event trace and metrics as JSONL to this file")
+	progress := fs.Bool("progress", false, "print live step progress to stderr")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address, e.g. localhost:6060")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *debugAddr != "" {
+		addr, err := cli.StartDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "debug server: http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
 
 	in, err := cli.LoadInstance(*inFile, *loads, *caseID)
@@ -50,7 +64,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var alg ringsched.Algorithm
-	opts := ringsched.Options{Record: *gantt}
+	opts := ringsched.Options{Record: *gantt || *traceOut != ""}
 	if *algName == "cap" {
 		alg = capring.Algorithm{}
 		opts.LinkCapacity = 1
@@ -62,15 +76,31 @@ func run(args []string, out io.Writer) error {
 		alg = spec
 	}
 
+	// Assemble the observability chain: an aggregating collector when
+	// telemetry or an export is wanted, a live progress printer on top.
+	var rm *ringsched.RingMetrics
+	var collectors []ringsched.Collector
+	if *showMetrics || *traceOut != "" {
+		rm = ringsched.NewRingMetrics(ringsched.MetricsOpts{Series: *traceOut != ""})
+		collectors = append(collectors, rm)
+	}
+	if *progress {
+		collectors = append(collectors, ringsched.NewProgressCollector(errw, 1000))
+	}
+	opts.Collector = ringsched.MultiCollector(collectors...)
+
 	fmt.Fprintf(out, "instance: %v   lower bound: %d\n", in, ringsched.LowerBound(in))
 
 	if *distributed {
-		res, err := ringsched.ScheduleDistributed(in, alg, ringsched.DistOptions{})
+		res, err := ringsched.ScheduleDistributed(in, alg, ringsched.DistOptions{Collector: opts.Collector})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "%s (goroutine runtime): makespan=%d steps=%d jobhops=%d messages=%d\n",
 			res.Algorithm, res.Makespan, res.Steps, res.JobHops, res.Messages)
+		if err := emitObservability(out, rm, *showMetrics, *traceOut, *caseID, nil); err != nil {
+			return err
+		}
 		return maybeOpt(out, in, *showOpt, *algName, res.Makespan)
 	}
 
@@ -83,7 +113,39 @@ func run(args []string, out io.Writer) error {
 	if *gantt && res.Trace != nil {
 		fmt.Fprint(out, res.Trace.GanttUtilization(72))
 	}
+	if err := emitObservability(out, rm, *showMetrics, *traceOut, *caseID, res.Trace); err != nil {
+		return err
+	}
 	return maybeOpt(out, in, *showOpt, *algName, res.Makespan)
+}
+
+// emitObservability prints the telemetry summary and/or writes the JSONL
+// export (trace section when the engine recorded one, then metrics).
+func emitObservability(out io.Writer, rm *ringsched.RingMetrics, show bool, traceOut, caseID string, trace *ringsched.Trace) error {
+	if rm == nil {
+		return nil
+	}
+	if show {
+		fmt.Fprint(out, stats.RenderTelemetry(rm.Summary()))
+	}
+	if traceOut == "" {
+		return nil
+	}
+	f, err := os.Create(traceOut)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if trace != nil {
+		if err := trace.WriteJSONL(f, caseID); err != nil {
+			return err
+		}
+	}
+	if err := rm.WriteJSONL(f, caseID); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace written to %s\n", traceOut)
+	return f.Close()
 }
 
 func maybeOpt(out io.Writer, in ringsched.Instance, show bool, algName string, makespan int64) error {

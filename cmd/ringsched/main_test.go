@@ -10,11 +10,18 @@ import (
 
 func runOK(t *testing.T, args ...string) string {
 	t.Helper()
-	var out bytes.Buffer
-	if err := run(args, &out); err != nil {
+	out, _ := runOK2(t, args...)
+	return out
+}
+
+// runOK2 returns stdout and stderr separately.
+func runOK2(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	if err := run(args, &out, &errw); err != nil {
 		t.Fatalf("run(%v): %v", args, err)
 	}
-	return out.String()
+	return out.String(), errw.String()
 }
 
 func TestRunLoads(t *testing.T) {
@@ -66,7 +73,7 @@ func TestRunFromFile(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	var out bytes.Buffer
+	var out, errw bytes.Buffer
 	for _, args := range [][]string{
 		{},                                // no instance selector
 		{"-loads", "1,2", "-alg", "nope"}, // bad algorithm
@@ -74,9 +81,72 @@ func TestRunErrors(t *testing.T) {
 		{"-in", "/does/not/exist.json"},   // missing file
 		{"-loads", "a,b"},                 // unparsable loads
 		{"-bogusflag"},                    // flag error
+		{"-loads", "1,2", "-trace-out", t.TempDir()},  // unwritable export path
+		{"-loads", "1,2", "-debug-addr", "bad::addr"}, // unlistenable address
 	} {
-		if err := run(args, &out); err == nil {
+		if err := run(args, &out, &errw); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	out := runOK(t, "-loads", "40,0,0,0,0", "-alg", "A2", "-metrics")
+	for _, want := range []string{"telemetry (ringsched.metrics/v1)", "alg=A2", "job-hops=", "peak utilization="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	out := runOK(t, "-loads", "12,0,0,0", "-alg", "C1", "-trace-out", path)
+	if !strings.Contains(out, "trace written to "+path) {
+		t.Errorf("output: %s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"schema":"ringsched.trace/v1"`, `"schema":"ringsched.metrics/v1"`, `"kind":"summary"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+}
+
+func TestRunDistributedMetrics(t *testing.T) {
+	// The goroutine runtime has no step snapshots or trace, but the
+	// collector still folds sends/deliveries; the export is metrics-only.
+	path := filepath.Join(t.TempDir(), "dist.jsonl")
+	out := runOK(t, "-loads", "30,0,0,0,0,0", "-alg", "C2", "-distributed", "-metrics", "-trace-out", path)
+	if !strings.Contains(out, "telemetry (ringsched.metrics/v1)") {
+		t.Errorf("output: %s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "ringsched.trace/v1") {
+		t.Error("distributed export contains a trace section")
+	}
+	if !strings.Contains(string(data), "ringsched.metrics/v1") {
+		t.Error("distributed export missing the metrics section")
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	_, errw := runOK2(t, "-loads", "15,0,0", "-alg", "A1", "-progress")
+	if !strings.Contains(errw, "alg=A1") || !strings.Contains(errw, "done after step") {
+		t.Errorf("progress stderr: %s", errw)
+	}
+}
+
+func TestRunDebugAddr(t *testing.T) {
+	_, errw := runOK2(t, "-loads", "5,0", "-debug-addr", "127.0.0.1:0")
+	if !strings.Contains(errw, "debug server: http://127.0.0.1:") {
+		t.Errorf("debug stderr: %s", errw)
 	}
 }

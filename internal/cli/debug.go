@@ -1,0 +1,35 @@
+package cli
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+)
+
+// StartDebugServer serves net/http/pprof and expvar on addr (the -debug-addr
+// flag of the tools). It returns the bound address — pass ":0" for an
+// ephemeral port — and leaves the server running for the life of the
+// process; profiling endpoints have no clean shutdown story and need none.
+func StartDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("debug server: %w", err)
+	}
+	go func() {
+		// Serve only returns on listener failure; the process is exiting.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// DebugVar returns the published expvar Int named name, creating it on
+// first use. Re-publishing an expvar panics, so the tools (whose run
+// functions are re-entered by tests) must reuse instead.
+func DebugVar(name string) *expvar.Int {
+	if v, ok := expvar.Get(name).(*expvar.Int); ok {
+		return v
+	}
+	return expvar.NewInt(name)
+}

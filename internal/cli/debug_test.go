@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestStartDebugServer(t *testing.T) {
+	addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	DebugVar("cli.test_counter").Set(7)
+	for path, want := range map[string]string{
+		"/debug/vars":   `"cli.test_counter": 7`,
+		"/debug/pprof/": "goroutine",
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: body missing %q", path, want)
+		}
+	}
+}
+
+func TestDebugVarReuse(t *testing.T) {
+	a := DebugVar("cli.reused")
+	a.Set(3)
+	if b := DebugVar("cli.reused"); b != a || b.Value() != 3 {
+		t.Error("DebugVar did not reuse the published var")
+	}
+}
+
+func TestStartDebugServerBadAddr(t *testing.T) {
+	if _, err := StartDebugServer("256.0.0.1:bad"); err == nil {
+		t.Error("bad address accepted")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"ringsched/internal/instance"
+	"ringsched/internal/metrics"
 	"ringsched/internal/sim"
 )
 
@@ -50,6 +51,12 @@ const MaxStepsDefault = 1 << 22
 // Options configure a concurrent run.
 type Options struct {
 	MaxSteps int64
+	// Collector, when non-nil, receives Send and Deliver telemetry from
+	// every processor goroutine concurrently (it must be safe for
+	// concurrent use, as metrics.Ring is). This runtime cannot snapshot
+	// all pools atomically, so the per-step Step callback is not made;
+	// metrics.Ring derives the step count from the event stream instead.
+	Collector metrics.Collector
 }
 
 // Run executes alg on in with one goroutine per processor and returns the
@@ -82,6 +89,13 @@ func Run(in instance.Instance, alg sim.Algorithm, opts Options) (Result, error) 
 			local.Sized = append([]int64(nil), in.Sized[i]...)
 		}
 		procs[i] = newProc(i, m, alg.NewNode(local))
+		procs[i].mc = opts.Collector
+	}
+	if opts.Collector != nil {
+		opts.Collector.Begin(metrics.RunInfo{
+			Algorithm: alg.Name(), M: m, Speed: 1, Transit: 1,
+			TotalWork: in.TotalWork(),
+		})
 	}
 	// Wire neighbor channels: generous buffers — a processor sends at
 	// most a handful of packets per link per step.
@@ -166,6 +180,9 @@ func Run(in instance.Instance, alg sim.Algorithm, opts Options) (Result, error) 
 	}
 	for i, p := range procs {
 		res.Processed[i] = p.processedTotal
+	}
+	if opts.Collector != nil {
+		opts.Collector.End()
 	}
 	if failure != nil {
 		return res, failure

@@ -8,6 +8,7 @@ import (
 	"ringsched/internal/bucket"
 	"ringsched/internal/capring"
 	"ringsched/internal/instance"
+	"ringsched/internal/metrics"
 	"ringsched/internal/sim"
 )
 
@@ -239,5 +240,50 @@ func TestSendVolumeGuard(t *testing.T) {
 	_, err := Run(instance.NewUnit([]int64{1000, 0}), floodAlg{}, Options{})
 	if err == nil || !strings.Contains(err.Error(), "chanCap") {
 		t.Errorf("flood not rejected: %v", err)
+	}
+}
+
+// TestCollectorEquivalence runs the same program under both runtimes with
+// a Ring collector each: the concurrently-fed collector must fold to the
+// same traffic totals as the sequentially-fed one. Under -race this is
+// the primary concurrency test of the metrics layer.
+func TestCollectorEquivalence(t *testing.T) {
+	works := make([]int64, 24)
+	works[0], works[12] = 300, 150
+	in := instance.NewUnit(works)
+
+	seqRM := metrics.New(metrics.Opts{})
+	seqRes, err := sim.Run(in, bucket.C2(), sim.Options{Collector: seqRM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distRM := metrics.New(metrics.Opts{})
+	distRes, err := Run(in, bucket.C2(), Options{Collector: distRM})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if seqRes.JobHops != distRes.JobHops || seqRes.Messages != distRes.Messages {
+		t.Fatalf("runtimes diverged: %+v vs %+v", seqRes, distRes)
+	}
+	ss, ds := seqRM.Summary(), distRM.Summary()
+	if ss.JobHops != ds.JobHops || ss.Messages != ds.Messages {
+		t.Errorf("collector totals diverged: seq hops=%d msgs=%d, dist hops=%d msgs=%d",
+			ss.JobHops, ss.Messages, ds.JobHops, ds.Messages)
+	}
+	if ds.JobHops != distRes.JobHops || ds.Messages != distRes.Messages {
+		t.Errorf("dist collector hops=%d msgs=%d != runtime hops=%d msgs=%d",
+			ds.JobHops, ds.Messages, distRes.JobHops, distRes.Messages)
+	}
+	// Per-link traffic must agree link by link, both directions.
+	seqLinks, distLinks := seqRM.Links(), distRM.Links()
+	if len(seqLinks) != len(distLinks) {
+		t.Fatalf("link sets differ: %d vs %d", len(seqLinks), len(distLinks))
+	}
+	for l, sls := range seqLinks {
+		dls, ok := distLinks[l]
+		if !ok || sls.Work != dls.Work || sls.Jobs != dls.Jobs || sls.Packets != dls.Packets {
+			t.Errorf("link %+v: seq %+v vs dist %+v (present=%v)", l, sls, dls, ok)
+		}
 	}
 }

@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 
+	"ringsched/internal/metrics"
 	"ringsched/internal/ring"
 	"ringsched/internal/sim"
 )
@@ -41,6 +42,10 @@ type proc struct {
 	processedThisStep bool
 	hopsThisStep      int64
 	messagesThisStep  int64
+
+	// mc, when non-nil, receives Send/Deliver telemetry (shared across
+	// all processor goroutines; must be concurrent-safe).
+	mc metrics.Collector
 
 	err error
 }
@@ -96,6 +101,9 @@ func (p *proc) step(t int64) (err error) {
 				select {
 				case pkt := <-ch:
 					p.messagesThisStep++
+					if p.mc != nil {
+						p.mc.Deliver(t, p.index, pkt.Dir, pktPayload(pkt), pktJobs(pkt))
+					}
 					p.node.Receive(ctx, pkt)
 				default:
 					goto drained
@@ -129,8 +137,28 @@ func (p *proc) step(t int64) (err error) {
 
 	// Job-hop accounting for everything sent this step.
 	p.hopsThisStep = p.outboundPayload()
+	if p.mc != nil {
+		for _, pkt := range p.outCw {
+			p.mc.Send(t, p.index, pkt.Dir, pktPayload(pkt), pktJobs(pkt))
+		}
+		for _, pkt := range p.outCcw {
+			p.mc.Send(t, p.index, pkt.Dir, pktPayload(pkt), pktJobs(pkt))
+		}
+	}
 	return nil
 }
+
+// pktPayload mirrors sim's unexported Packet.payload.
+func pktPayload(pkt *sim.Packet) int64 {
+	w := pkt.Work
+	for _, s := range pkt.Jobs {
+		w += s
+	}
+	return w
+}
+
+// pktJobs mirrors sim's unexported Packet.jobCount.
+func pktJobs(pkt *sim.Packet) int64 { return pkt.Work + int64(len(pkt.Jobs)) }
 
 // flush pushes the buffered sends into the neighbor channels (phase 2).
 func (p *proc) flush() {

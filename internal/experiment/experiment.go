@@ -9,11 +9,13 @@ package experiment
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"time"
 
 	"ringsched/internal/bucket"
+	"ringsched/internal/metrics"
 	"ringsched/internal/opt"
 	"ringsched/internal/sim"
 	"ringsched/internal/stats"
@@ -32,6 +34,29 @@ type Run struct {
 	Factor   float64
 	JobHops  int64
 	Messages int64
+	// Telemetry is the run's observability summary (Options.Metrics).
+	Telemetry *Telemetry
+}
+
+// Telemetry is the per-run slice of the metrics.Summary the suite keeps:
+// the quantities §6's successors report alongside makespan.
+type Telemetry struct {
+	PeakLinkUtilization float64 `json:"peakLinkUtilization"`
+	TimeToBalance       int64   `json:"timeToBalance"`
+	IdleFraction        float64 `json:"idleFraction"`
+	PeakInTransit       int64   `json:"peakInTransit"`
+	PeakPool            int64   `json:"peakPool"`
+}
+
+// newTelemetry projects a collector summary onto the suite's Telemetry.
+func newTelemetry(s metrics.Summary) *Telemetry {
+	return &Telemetry{
+		PeakLinkUtilization: s.PeakLinkUtilization,
+		TimeToBalance:       s.TimeToBalance,
+		IdleFraction:        s.IdleFraction,
+		PeakInTransit:       s.PeakInTransit,
+		PeakPool:            s.PeakPool,
+	}
 }
 
 // CaseResult is one test case with its optimum and all algorithm runs.
@@ -44,11 +69,31 @@ type CaseResult struct {
 	Runs  map[string]Run
 }
 
+// SuiteInfo records the options a suite ran under, so exported reports
+// are self-describing and reproducible.
+type SuiteInfo struct {
+	// SolverDeadline and SolverMaxArcs are the exact-optimum solver's
+	// per-case budget.
+	SolverDeadline time.Duration
+	SolverMaxArcs  int
+	// Metrics reports whether per-run telemetry was collected.
+	Metrics bool
+	// TraceExport reports whether per-run JSONL traces were written.
+	TraceExport bool
+}
+
 // Report is a full suite execution.
 type Report struct {
 	Algorithms []string
 	Cases      []CaseResult
 	Elapsed    time.Duration
+	// Suite is the configuration the suite ran under.
+	Suite SuiteInfo
+	// DeadlineHits counts cases whose optimum solver fell back to the
+	// certified lower bound (deadline or network-size budget exceeded).
+	DeadlineHits int
+	// FlowCalls totals the solver's feasibility-flow computations.
+	FlowCalls int
 }
 
 // Options configure a suite run.
@@ -61,6 +106,25 @@ type Options struct {
 	OptLimits opt.Limits
 	// Progress, when non-nil, receives one line per completed case.
 	Progress func(string)
+	// Metrics attaches a telemetry collector to every run and fills
+	// Run.Telemetry.
+	Metrics bool
+	// TraceOut, when non-nil, receives every run's event trace followed
+	// by its metrics as JSONL (one schema-versioned section per run,
+	// labelled with the case id). Implies Metrics-style collection for
+	// the exported summaries.
+	TraceOut io.Writer
+	// OnProgress, when non-nil, receives a snapshot after every
+	// completed case (for live status displays).
+	OnProgress func(Progress)
+}
+
+// Progress is a live snapshot of a running suite.
+type Progress struct {
+	Done, Total  int
+	CaseID       string
+	DeadlineHits int
+	Elapsed      time.Duration
 }
 
 func (o Options) algorithms() []string {
@@ -91,7 +155,16 @@ func RunSuite(cases []workload.Case, o Options) (Report, error) {
 		specs[name] = spec
 	}
 
-	rep := Report{Algorithms: o.algorithms()}
+	rep := Report{
+		Algorithms: o.algorithms(),
+		Suite: SuiteInfo{
+			SolverDeadline: o.optLimits().Deadline,
+			SolverMaxArcs:  o.optLimits().MaxArcs,
+			Metrics:        o.Metrics || o.TraceOut != nil,
+			TraceExport:    o.TraceOut != nil,
+		},
+	}
+	collect := rep.Suite.Metrics
 	for _, c := range cases {
 		cr := CaseResult{
 			ID:    c.ID,
@@ -101,8 +174,18 @@ func RunSuite(cases []workload.Case, o Options) (Report, error) {
 			Runs:  make(map[string]Run, len(specs)),
 		}
 		cr.Opt = opt.Uncapacitated(c.In, o.optLimits())
+		if !cr.Opt.Exact {
+			rep.DeadlineHits++
+		}
+		rep.FlowCalls += cr.Opt.FlowCalls
 		for _, name := range rep.Algorithms {
-			res, err := sim.Run(c.In, specs[name], sim.Options{})
+			simOpts := sim.Options{Record: o.TraceOut != nil}
+			var rm *metrics.Ring
+			if collect {
+				rm = metrics.New(metrics.Opts{})
+				simOpts.Collector = rm
+			}
+			res, err := sim.Run(c.In, specs[name], simOpts)
 			if err != nil {
 				return Report{}, fmt.Errorf("case %s, algorithm %s: %w", c.ID, name, err)
 			}
@@ -112,12 +195,36 @@ func RunSuite(cases []workload.Case, o Options) (Report, error) {
 			} else {
 				r.Factor = 1
 			}
+			if rm != nil {
+				s := rm.Summary()
+				// The collector folds the same event stream the engine
+				// counts; disagreement means telemetry is lying.
+				if s.JobHops != res.JobHops || s.Messages != res.Messages {
+					return Report{}, fmt.Errorf("case %s, algorithm %s: collector (hops=%d, msgs=%d) disagrees with engine (hops=%d, msgs=%d)",
+						c.ID, name, s.JobHops, s.Messages, res.JobHops, res.Messages)
+				}
+				r.Telemetry = newTelemetry(s)
+			}
+			if o.TraceOut != nil {
+				if err := res.Trace.WriteJSONL(o.TraceOut, c.ID); err != nil {
+					return Report{}, fmt.Errorf("case %s, algorithm %s: trace export: %w", c.ID, name, err)
+				}
+				if err := rm.WriteJSONL(o.TraceOut, c.ID); err != nil {
+					return Report{}, fmt.Errorf("case %s, algorithm %s: metrics export: %w", c.ID, name, err)
+				}
+			}
 			cr.Runs[name] = r
 		}
 		rep.Cases = append(rep.Cases, cr)
 		if o.Progress != nil {
 			o.Progress(fmt.Sprintf("%-28s opt=%-7d exact=%-5v %s",
 				c.ID, cr.Opt.Length, cr.Opt.Exact, summarizeRuns(rep.Algorithms, cr.Runs)))
+		}
+		if o.OnProgress != nil {
+			o.OnProgress(Progress{
+				Done: len(rep.Cases), Total: len(cases), CaseID: c.ID,
+				DeadlineHits: rep.DeadlineHits, Elapsed: time.Since(started),
+			})
 		}
 	}
 	rep.Elapsed = time.Since(started)
@@ -180,6 +287,71 @@ func (r Report) Histogram(alg string) *stats.Histogram {
 	return h
 }
 
+// TelemetryAgg aggregates per-run telemetry across a suite for one
+// algorithm (only cases that carried telemetry count).
+type TelemetryAgg struct {
+	Cases                  int     `json:"cases"`
+	MeanIdleFraction       float64 `json:"meanIdleFraction"`
+	MaxPeakLinkUtilization float64 `json:"maxPeakLinkUtilization"`
+	MaxTimeToBalance       int64   `json:"maxTimeToBalance"`
+	MaxPeakInTransit       int64   `json:"maxPeakInTransit"`
+}
+
+// TelemetryByAlg folds every case's telemetry into one aggregate per
+// algorithm. The map is empty when the suite ran without Options.Metrics.
+func (r Report) TelemetryByAlg() map[string]TelemetryAgg {
+	out := make(map[string]TelemetryAgg)
+	for _, alg := range r.Algorithms {
+		var agg TelemetryAgg
+		for _, c := range r.Cases {
+			run, ok := c.Runs[alg]
+			if !ok || run.Telemetry == nil {
+				continue
+			}
+			tl := run.Telemetry
+			agg.Cases++
+			agg.MeanIdleFraction += tl.IdleFraction
+			if tl.PeakLinkUtilization > agg.MaxPeakLinkUtilization {
+				agg.MaxPeakLinkUtilization = tl.PeakLinkUtilization
+			}
+			if tl.TimeToBalance > agg.MaxTimeToBalance {
+				agg.MaxTimeToBalance = tl.TimeToBalance
+			}
+			if tl.PeakInTransit > agg.MaxPeakInTransit {
+				agg.MaxPeakInTransit = tl.PeakInTransit
+			}
+		}
+		if agg.Cases > 0 {
+			agg.MeanIdleFraction /= float64(agg.Cases)
+			out[alg] = agg
+		}
+	}
+	return out
+}
+
+// RenderTelemetry renders the per-algorithm telemetry aggregates as a
+// compact text table ("" when the suite collected none).
+func (r Report) RenderTelemetry() string {
+	aggs := r.TelemetryByAlg()
+	if len(aggs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry over %d cases (schema %s)\n", len(r.Cases), metrics.SchemaVersion)
+	fmt.Fprintf(&b, "  %-4s %12s %14s %14s %14s\n",
+		"alg", "idle (mean)", "link util (max)", "t-balance (max)", "in-transit (max)")
+	for _, alg := range r.Algorithms {
+		agg, ok := aggs[alg]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-4s %11.1f%% %14.1f%% %15d %16d\n",
+			alg, 100*agg.MeanIdleFraction, 100*agg.MaxPeakLinkUtilization,
+			agg.MaxTimeToBalance, agg.MaxPeakInTransit)
+	}
+	return b.String()
+}
+
 // figureNumbers maps each §6 algorithm to its figure in the paper.
 var figureNumbers = map[string]int{"A1": 2, "B1": 3, "C1": 4, "A2": 5, "B2": 6, "C2": 7}
 
@@ -221,6 +393,24 @@ func (r Report) Markdown() string {
 			alg, worst, worstID, exactWorst, s.Mean, under, len(all))
 	}
 
+	fmt.Fprintf(&b, "\nSolver budget: deadline %s, max arcs %d; %d of %d cases fell back to the lower bound; %d feasibility-flow calls.\n",
+		r.Suite.SolverDeadline, r.Suite.SolverMaxArcs, r.DeadlineHits, len(r.Cases), r.FlowCalls)
+
+	if aggs := r.TelemetryByAlg(); len(aggs) > 0 {
+		fmt.Fprintf(&b, "\n## Telemetry (per algorithm)\n\n")
+		fmt.Fprintf(&b, "| Algorithm | mean idle fraction | max link utilization | max time-to-balance | max peak in-transit |\n")
+		fmt.Fprintf(&b, "|---|---|---|---|---|\n")
+		for _, alg := range r.Algorithms {
+			agg, ok := aggs[alg]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "| %s | %.1f%% | %.1f%% | %d | %d |\n",
+				alg, 100*agg.MeanIdleFraction, 100*agg.MaxPeakLinkUtilization,
+				agg.MaxTimeToBalance, agg.MaxPeakInTransit)
+		}
+	}
+
 	fmt.Fprintf(&b, "\n## Per-case results\n\n")
 	fmt.Fprintf(&b, "| Case | group | m | work | OPT | exact |")
 	for _, alg := range r.Algorithms {
@@ -245,13 +435,26 @@ func (r Report) Markdown() string {
 	return b.String()
 }
 
-// JSON encodes the report for downstream tooling: per-case optima and
-// factors plus per-algorithm summaries.
+// SchemaReport identifies the JSON report format. v2 added the options,
+// solver and per-run detail blocks (v1 had factors only).
+const SchemaReport = "ringsched.report/v2"
+
+// JSON encodes the report for downstream tooling: the suite's own
+// configuration (so the export is self-describing and reproducible),
+// solver accounting, per-case optima, factors, traffic counters and
+// telemetry, plus per-algorithm summaries.
 func (r Report) JSON() ([]byte, error) {
 	type algSummary struct {
 		Worst     float64 `json:"worst"`
 		WorstCase string  `json:"worstCase"`
 		Mean      float64 `json:"mean"`
+	}
+	type runOut struct {
+		Makespan  int64      `json:"makespan"`
+		Factor    float64    `json:"factor"`
+		JobHops   int64      `json:"jobHops"`
+		Messages  int64      `json:"messages"`
+		Telemetry *Telemetry `json:"telemetry,omitempty"`
 	}
 	type caseOut struct {
 		ID      string             `json:"id"`
@@ -261,16 +464,47 @@ func (r Report) JSON() ([]byte, error) {
 		Opt     int64              `json:"opt"`
 		Exact   bool               `json:"exact"`
 		Factors map[string]float64 `json:"factors"`
+		Runs    map[string]runOut  `json:"runs"`
+	}
+	type optionsOut struct {
+		SolverDeadlineSeconds float64 `json:"solverDeadlineSeconds"`
+		SolverMaxArcs         int     `json:"solverMaxArcs"`
+		Metrics               bool    `json:"metrics"`
+		TraceExport           bool    `json:"traceExport"`
+	}
+	type solverOut struct {
+		DeadlineHits int `json:"deadlineHits"`
+		ExactCases   int `json:"exactCases"`
+		FlowCalls    int `json:"flowCalls"`
 	}
 	out := struct {
-		Algorithms []string              `json:"algorithms"`
-		Summary    map[string]algSummary `json:"summary"`
-		Cases      []caseOut             `json:"cases"`
-		ElapsedSec float64               `json:"elapsedSeconds"`
+		Schema     string                  `json:"schema"`
+		Algorithms []string                `json:"algorithms"`
+		Options    optionsOut              `json:"options"`
+		Solver     solverOut               `json:"solver"`
+		Summary    map[string]algSummary   `json:"summary"`
+		Telemetry  map[string]TelemetryAgg `json:"telemetry,omitempty"`
+		Cases      []caseOut               `json:"cases"`
+		ElapsedSec float64                 `json:"elapsedSeconds"`
 	}{
+		Schema:     SchemaReport,
 		Algorithms: r.Algorithms,
+		Options: optionsOut{
+			SolverDeadlineSeconds: r.Suite.SolverDeadline.Seconds(),
+			SolverMaxArcs:         r.Suite.SolverMaxArcs,
+			Metrics:               r.Suite.Metrics,
+			TraceExport:           r.Suite.TraceExport,
+		},
+		Solver: solverOut{
+			DeadlineHits: r.DeadlineHits,
+			ExactCases:   len(r.Cases) - r.DeadlineHits,
+			FlowCalls:    r.FlowCalls,
+		},
 		Summary:    map[string]algSummary{},
 		ElapsedSec: r.Elapsed.Seconds(),
+	}
+	if aggs := r.TelemetryByAlg(); len(aggs) > 0 {
+		out.Telemetry = aggs
 	}
 	for _, alg := range r.Algorithms {
 		worst, id := r.Worst(alg, false)
@@ -282,9 +516,12 @@ func (r Report) JSON() ([]byte, error) {
 	}
 	for _, c := range r.Cases {
 		co := caseOut{ID: c.ID, Group: c.Group, M: c.M, Work: c.Work,
-			Opt: c.Opt.Length, Exact: c.Opt.Exact, Factors: map[string]float64{}}
+			Opt: c.Opt.Length, Exact: c.Opt.Exact,
+			Factors: map[string]float64{}, Runs: map[string]runOut{}}
 		for alg, run := range c.Runs {
 			co.Factors[alg] = run.Factor
+			co.Runs[alg] = runOut{Makespan: run.Makespan, Factor: run.Factor,
+				JobHops: run.JobHops, Messages: run.Messages, Telemetry: run.Telemetry}
 		}
 		out.Cases = append(out.Cases, co)
 	}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// JSONL record shapes. Every line is one JSON object carrying a "kind"
+// discriminator; the header line additionally carries the schema version
+// so concatenated streams (e.g. a trace section followed by a metrics
+// section) remain self-describing. Field order is fixed by the struct
+// definitions, so output is byte-stable for a given run.
+
+type headerRecord struct {
+	Schema       string `json:"schema"`
+	Kind         string `json:"kind"`
+	Case         string `json:"case,omitempty"`
+	Alg          string `json:"alg"`
+	M            int    `json:"m"`
+	Speed        int64  `json:"speed"`
+	Transit      int64  `json:"transit"`
+	LinkCapacity int64  `json:"linkCapacity"`
+	TotalWork    int64  `json:"totalWork"`
+}
+
+type stepRecord struct {
+	Kind string `json:"kind"`
+	StepMetrics
+}
+
+type linkRecord struct {
+	Kind        string  `json:"kind"`
+	Proc        int     `json:"proc"`
+	Dir         string  `json:"dir"`
+	Work        int64   `json:"work"`
+	Jobs        int64   `json:"jobs"`
+	Packets     int64   `json:"packets"`
+	BusySteps   int64   `json:"busySteps"`
+	Utilization float64 `json:"utilization"`
+}
+
+type summaryRecord struct {
+	Kind string `json:"kind"`
+	Summary
+}
+
+// WriteJSONL exports the collected metrics as JSON Lines: a header
+// record, one step record per series entry (when Opts.Series), one link
+// record per directed link that carried traffic (ordered by proc then
+// direction), and a closing summary record. caseID, when non-empty,
+// labels the header so suite exports remain separable.
+func (r *Ring) WriteJSONL(w io.Writer, caseID string) error {
+	r.mu.Lock()
+	run := r.run
+	series := append([]StepMetrics(nil), r.series...)
+	links := make([]linkRecord, 0, len(r.links))
+	steps := r.effectiveSteps()
+	for i := range r.links {
+		ls := &r.links[i]
+		if ls.Packets == 0 {
+			continue
+		}
+		l := linkOf(i)
+		links = append(links, linkRecord{
+			Kind: "link", Proc: l.Proc, Dir: l.Dir.String(),
+			Work: ls.Work, Jobs: ls.Jobs, Packets: ls.Packets,
+			BusySteps: ls.BusySteps, Utilization: r.utilization(ls, steps),
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].Proc != links[j].Proc {
+			return links[i].Proc < links[j].Proc
+		}
+		return links[i].Dir < links[j].Dir
+	})
+
+	bw := bufio.NewWriter(w)
+	emit := func(v any) error {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(data); err != nil {
+			return err
+		}
+		return bw.WriteByte('\n')
+	}
+
+	if err := emit(headerRecord{
+		Schema: SchemaVersion, Kind: "header", Case: caseID,
+		Alg: run.Algorithm, M: run.M, Speed: run.Speed, Transit: run.Transit,
+		LinkCapacity: run.LinkCapacity, TotalWork: run.TotalWork,
+	}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if err := emit(stepRecord{Kind: "step", StepMetrics: s}); err != nil {
+			return err
+		}
+	}
+	for _, l := range links {
+		if err := emit(l); err != nil {
+			return err
+		}
+	}
+	if err := emit(summaryRecord{Kind: "summary", Summary: r.Summary()}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"ringsched/internal/ring"
+)
+
+// feedRun replays a tiny hand-computed run: m=4, 3 units start on proc 0,
+// are sent one hop clockwise at step 0, delivered at step 1, and drain
+// over steps 1..3.
+func feedRun(r *Ring) {
+	r.Begin(RunInfo{Algorithm: "feed", M: 4, Speed: 1, Transit: 1, TotalWork: 3})
+	// Step 0: proc 0 ships everything clockwise; nothing processed.
+	r.Send(0, 0, ring.Clockwise, 3, 3)
+	r.Step(StepInfo{T: 0, Pools: []int64{0, 0, 0, 0}, Processed: 0, Busy: 0, InTransit: 3})
+	// Step 1: delivery at proc 1, one unit processed, two remain pooled.
+	r.Deliver(1, 1, ring.Clockwise, 3, 3)
+	r.Step(StepInfo{T: 1, Pools: []int64{0, 2, 0, 0}, Processed: 1, Busy: 1, InTransit: 0})
+	// Steps 2-3: drain.
+	r.Step(StepInfo{T: 2, Pools: []int64{0, 1, 0, 0}, Processed: 1, Busy: 1, InTransit: 0})
+	r.Step(StepInfo{T: 3, Pools: []int64{0, 0, 0, 0}, Processed: 1, Busy: 1, InTransit: 0})
+	r.End()
+}
+
+func TestRingAggregates(t *testing.T) {
+	r := New(Opts{Series: true})
+	feedRun(r)
+	s := r.Summary()
+
+	if s.Schema != SchemaVersion {
+		t.Errorf("schema = %q", s.Schema)
+	}
+	if s.JobHops != 3 || s.Messages != 1 || s.Processed != 3 || s.Steps != 4 {
+		t.Errorf("aggregates: hops=%d msgs=%d processed=%d steps=%d", s.JobHops, s.Messages, s.Processed, s.Steps)
+	}
+	if s.PeakInTransit != 3 {
+		t.Errorf("peak in-transit = %d, want 3", s.PeakInTransit)
+	}
+	if s.PeakPool != 2 {
+		t.Errorf("peak pool = %d, want 2", s.PeakPool)
+	}
+	// 16 processor-steps, 3 busy.
+	if want := 13.0 / 16.0; math.Abs(s.IdleFraction-want) > 1e-12 {
+		t.Errorf("idle fraction = %v, want %v", s.IdleFraction, want)
+	}
+	// Unbalanced only at t=1 (max 2, mean 0.5, diff 1.5 > 1).
+	if s.TimeToBalance != 2 {
+		t.Errorf("time-to-balance = %d, want 2", s.TimeToBalance)
+	}
+	if s.PeakImbalance != 1.5 {
+		t.Errorf("peak imbalance = %v, want 1.5", s.PeakImbalance)
+	}
+	// Only one link carried traffic; busy 1 of 4 steps.
+	if s.BusiestLinkProc != 0 || s.BusiestLinkDir != "cw" {
+		t.Errorf("busiest link = %d %s", s.BusiestLinkProc, s.BusiestLinkDir)
+	}
+	if want := 0.25; s.PeakLinkUtilization != want {
+		t.Errorf("peak link utilization = %v, want %v", s.PeakLinkUtilization, want)
+	}
+	// Pools [0,2,0,0]: sorted ranks give G = 2*(4*2)/(4*2) - 5/4 = 3/4.
+	if want := 0.75; math.Abs(s.PeakGini-want) > 1e-12 {
+		t.Errorf("peak gini = %v, want %v", s.PeakGini, want)
+	}
+	if s.InitialGini != 0 {
+		t.Errorf("initial gini = %v, want 0 (empty pools at t=0)", s.InitialGini)
+	}
+
+	if got := len(r.Series()); got != 4 {
+		t.Errorf("series length = %d, want 4", got)
+	}
+	links := r.Links()
+	ls, ok := links[Link{Proc: 0, Dir: ring.Clockwise}]
+	if !ok || ls.Work != 3 || ls.Jobs != 3 || ls.Packets != 1 || ls.BusySteps != 1 {
+		t.Errorf("link stats = %+v (present=%v)", ls, ok)
+	}
+}
+
+func TestRingCapacitatedUtilization(t *testing.T) {
+	r := New(Opts{})
+	r.Begin(RunInfo{Algorithm: "cap", M: 2, LinkCapacity: 2, Speed: 1, Transit: 1, TotalWork: 4})
+	r.Send(0, 0, ring.Clockwise, 2, 2)
+	r.Step(StepInfo{T: 0, Pools: []int64{2, 0}, Processed: 1, Busy: 1, InTransit: 2})
+	r.Step(StepInfo{T: 1, Pools: []int64{0, 0}, Processed: 3, Busy: 2, InTransit: 0})
+	r.End()
+	// 2 jobs over capacity 2 * 2 steps = 0.5.
+	if u := r.Summary().PeakLinkUtilization; u != 0.5 {
+		t.Errorf("capacitated utilization = %v, want 0.5", u)
+	}
+}
+
+func TestRingStepless(t *testing.T) {
+	// A runtime that never calls Step (internal/dist): steps fall back to
+	// the highest event step + 1.
+	r := New(Opts{})
+	r.Begin(RunInfo{Algorithm: "stepless", M: 2, TotalWork: 1})
+	r.Send(0, 0, ring.Clockwise, 1, 1)
+	r.Deliver(1, 1, ring.Clockwise, 1, 1)
+	r.End()
+	s := r.Summary()
+	if s.Steps != 2 || s.JobHops != 1 || s.Messages != 1 {
+		t.Errorf("stepless summary: %+v", s)
+	}
+}
+
+func TestEmptyRunSummary(t *testing.T) {
+	r := New(Opts{})
+	r.Begin(RunInfo{Algorithm: "empty", M: 3})
+	r.End()
+	s := r.Summary()
+	if s.Steps != 0 || s.PeakLinkUtilization != 0 || s.IdleFraction != 0 || s.BusiestLinkDir != "" {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestGini(t *testing.T) {
+	scratch := make([]int64, 8)
+	cases := []struct {
+		pools []int64
+		want  float64
+	}{
+		{nil, 0},
+		{[]int64{0, 0, 0}, 0},
+		{[]int64{5, 5, 5, 5}, 0},
+		{[]int64{0, 2, 0, 0}, 0.75},
+		{[]int64{1, 0}, 0.5},
+	}
+	for _, c := range cases {
+		if got := giniOf(c.pools, scratch[:len(c.pools)]); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("gini(%v) = %v, want %v", c.pools, got, c.want)
+		}
+	}
+	// Gini must not reorder the caller's pools.
+	pools := []int64{3, 1, 2}
+	giniOf(pools, scratch[:3])
+	if pools[0] != 3 || pools[1] != 1 || pools[2] != 2 {
+		t.Errorf("giniOf mutated input: %v", pools)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("Multi of nothing should be nil")
+	}
+	one := New(Opts{})
+	if Multi(nil, one) != Collector(one) {
+		t.Error("Multi of one collector should be that collector")
+	}
+	a, b := New(Opts{}), New(Opts{})
+	m := Multi(a, b)
+	feedRunVia(m)
+	sa, sb := a.Summary(), b.Summary()
+	if sa.JobHops != 3 || sb.JobHops != 3 || sa.Messages != sb.Messages {
+		t.Errorf("multi fan-out mismatch: %+v vs %+v", sa, sb)
+	}
+}
+
+// feedRunVia replays feedRun's stream through any Collector.
+func feedRunVia(c Collector) {
+	c.Begin(RunInfo{Algorithm: "feed", M: 4, Speed: 1, Transit: 1, TotalWork: 3})
+	c.Send(0, 0, ring.Clockwise, 3, 3)
+	c.Step(StepInfo{T: 0, Pools: []int64{0, 0, 0, 0}, InTransit: 3})
+	c.Deliver(1, 1, ring.Clockwise, 3, 3)
+	c.Step(StepInfo{T: 1, Pools: []int64{0, 2, 0, 0}, Processed: 1, Busy: 1})
+	c.Step(StepInfo{T: 2, Pools: []int64{0, 1, 0, 0}, Processed: 1, Busy: 1})
+	c.Step(StepInfo{T: 3, Pools: []int64{0, 0, 0, 0}, Processed: 1, Busy: 1})
+	c.End()
+}
+
+func TestProgressOutput(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, 2)
+	feedRunVia(p)
+	out := buf.String()
+	for _, want := range []string{"alg=feed", "t=0", "t=2", "done after step 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "t=1 ") {
+		t.Errorf("progress printed off-cadence step:\n%s", out)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := New(Opts{Series: true})
+	feedRun(r)
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, "case-7"); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, rec["kind"].(string))
+		switch rec["kind"] {
+		case "header":
+			if rec["schema"] != SchemaVersion || rec["case"] != "case-7" {
+				t.Errorf("header record: %v", rec)
+			}
+		case "summary":
+			if rec["jobHops"].(float64) != 3 || rec["messages"].(float64) != 1 {
+				t.Errorf("summary record: %v", rec)
+			}
+		}
+	}
+	// header, 4 steps, 1 link, summary.
+	want := []string{"header", "step", "step", "step", "step", "link", "summary"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Errorf("record kinds = %v, want %v", kinds, want)
+	}
+}
+
+// TestConcurrentCollector hammers one Ring from many goroutines, the
+// access pattern of the internal/dist runtime. Run with -race.
+func TestConcurrentCollector(t *testing.T) {
+	r := New(Opts{})
+	const procs, steps = 8, 50
+	r.Begin(RunInfo{Algorithm: "hammer", M: procs, TotalWork: procs * steps})
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			for s := int64(0); s < steps; s++ {
+				r.Send(s, me, ring.Clockwise, 1, 1)
+				r.Deliver(s, me, ring.CounterClockwise, 1, 1)
+				if me == 0 {
+					r.Step(StepInfo{T: s, Pools: make([]int64, procs), Busy: procs})
+				}
+				_ = r.Summary() // concurrent mid-run reads must be safe too
+			}
+		}(i)
+	}
+	wg.Wait()
+	r.End()
+	s := r.Summary()
+	if s.JobHops != procs*steps || s.Messages != procs*steps {
+		t.Errorf("concurrent totals: hops=%d msgs=%d, want %d", s.JobHops, s.Messages, procs*steps)
+	}
+}

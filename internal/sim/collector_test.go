@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ringsched/internal/instance"
+	"ringsched/internal/metrics"
+)
+
+// TestCollectorMatchesEngineCounters is the load-bearing invariant of the
+// observability layer: the collector's aggregates, folded from the event
+// stream, must agree exactly with the engine's own counters.
+func TestCollectorMatchesEngineCounters(t *testing.T) {
+	cases := []struct {
+		name string
+		in   instance.Instance
+		alg  Algorithm
+		opts Options
+	}{
+		{"stay", instance.NewUnit([]int64{3, 7, 0, 2}), stayAlg{}, Options{}},
+		{"hop3", instance.NewUnit([]int64{5, 0, 0, 0, 0, 0, 0, 0}), hopAlg{k: 3}, Options{}},
+		{"hop-wrap", instance.NewUnit([]int64{4, 0, 0}), hopAlg{k: 5}, Options{}},
+		{"transit2", instance.NewUnit([]int64{6, 0, 0, 0}), hopAlg{k: 2}, Options{Transit: 2}},
+		{"speed3", instance.NewUnit([]int64{9, 0}), stayAlg{}, Options{Speed: 3}},
+		{"sized", instance.NewSized([][]int64{{5, 2}, {1}}), stayAlg{}, Options{}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rm := metrics.New(metrics.Opts{Series: true})
+			opts := c.opts
+			opts.Collector = rm
+			res, err := Run(c.in, c.alg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := rm.Summary()
+			if s.JobHops != res.JobHops {
+				t.Errorf("collector job-hops %d != engine %d", s.JobHops, res.JobHops)
+			}
+			if s.Messages != res.Messages {
+				t.Errorf("collector messages %d != engine %d", s.Messages, res.Messages)
+			}
+			if s.Steps != res.Steps {
+				t.Errorf("collector steps %d != engine %d", s.Steps, res.Steps)
+			}
+			if s.Processed != c.in.TotalWork() {
+				t.Errorf("collector processed %d != instance work %d", s.Processed, c.in.TotalWork())
+			}
+			// The engine samples MaxPool before processing, the
+			// collector after: they differ by at most Speed units.
+			var peakPool int64
+			for _, p := range res.MaxPool {
+				if p > peakPool {
+					peakPool = p
+				}
+			}
+			speed := c.opts.Speed
+			if speed == 0 {
+				speed = 1
+			}
+			if s.PeakPool > peakPool || s.PeakPool < peakPool-speed {
+				t.Errorf("collector peak pool %d outside [%d,%d]", s.PeakPool, peakPool-speed, peakPool)
+			}
+			// When the run quiesces at the makespan (all these do), the
+			// idle fraction is the complement of the engine's utilization.
+			if res.Steps == res.Makespan {
+				if want := 1 - res.Utilization(); math.Abs(s.IdleFraction-want) > 1e-12 {
+					t.Errorf("idle fraction %v != 1-utilization %v", s.IdleFraction, want)
+				}
+			}
+		})
+	}
+}
+
+func TestCollectorInTransitTracksHops(t *testing.T) {
+	// One unit travelling 3 hops is in transit for steps 0..2.
+	works := make([]int64, 8)
+	works[0] = 1
+	rm := metrics.New(metrics.Opts{Series: true})
+	if _, err := Run(instance.NewUnit(works), hopAlg{k: 3}, Options{Collector: rm}); err != nil {
+		t.Fatal(err)
+	}
+	series := rm.Series()
+	for _, sm := range series {
+		inTransit := sm.T < 3 // sent at 0,1,2; delivered+deposited at 3
+		if got := sm.InTransit == 1; got != inTransit {
+			t.Errorf("t=%d: in-transit=%d", sm.T, sm.InTransit)
+		}
+	}
+	if s := rm.Summary(); s.PeakInTransit != 1 || s.TimeToBalance != 0 {
+		t.Errorf("summary: %+v", s)
+	}
+}
+
+// TestCollectorZeroWhenDisabled pins the no-op contract: no collector,
+// no calls — the engine result is bit-identical either way.
+func TestCollectorZeroWhenDisabled(t *testing.T) {
+	in := instance.NewUnit([]int64{10, 0, 0, 5})
+	plain, err := Run(in, hopAlg{k: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := metrics.New(metrics.Opts{})
+	collected, err := Run(in, hopAlg{k: 1}, Options{Collector: rm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collected.Trace = plain.Trace // both nil; silence vet on struct compare
+	if plain.Makespan != collected.Makespan || plain.JobHops != collected.JobHops ||
+		plain.Steps != collected.Steps || plain.Messages != collected.Messages {
+		t.Errorf("collector changed the schedule: %+v vs %+v", plain, collected)
+	}
+}

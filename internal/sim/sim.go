@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"ringsched/internal/instance"
+	"ringsched/internal/metrics"
 	"ringsched/internal/ring"
 )
 
@@ -116,6 +117,11 @@ type Options struct {
 	// slower links, simulated natively rather than via the Reduce
 	// rescaling). Zero means 1.
 	Transit int64
+	// Collector, when non-nil, receives the run's telemetry stream
+	// (per-packet sends/deliveries and an end-of-step snapshot; see
+	// internal/metrics). A nil collector costs one pointer comparison
+	// per packet and per step.
+	Collector metrics.Collector
 }
 
 func (o Options) speed() int64 {
@@ -320,6 +326,8 @@ type engine struct {
 	outbox   []transit // packets sent during the current step
 	opts     Options
 	trace    *Trace
+	mc       metrics.Collector
+	mcPools  []int64 // reused per-step pool snapshot for the collector
 
 	jobHops  int64
 	messages int64
@@ -352,8 +360,16 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 		opts:     opts,
 	}
 	if opts.Record {
-		e.trace = &Trace{M: m, LinkCapacity: opts.LinkCapacity,
+		e.trace = &Trace{Algorithm: alg.Name(), M: m, LinkCapacity: opts.LinkCapacity,
 			Speed: opts.speed(), Transit: opts.transit()}
+	}
+	if opts.Collector != nil {
+		e.mc = opts.Collector
+		e.mcPools = make([]int64, m)
+		e.mc.Begin(metrics.RunInfo{
+			Algorithm: alg.Name(), M: m, LinkCapacity: opts.LinkCapacity,
+			Speed: opts.speed(), Transit: opts.transit(), TotalWork: in.TotalWork(),
+		})
 	}
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
@@ -420,6 +436,9 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 					dest := e.top.Step(tr.from, tr.p.Dir)
 					e.messages++
 					e.record(Event{T: t, Kind: EvDeliver, Proc: dest, Dir: tr.p.Dir, Amount: tr.p.payload(), JobCount: tr.p.jobCount()})
+					if e.mc != nil {
+						e.mc.Deliver(t, dest, tr.p.Dir, tr.p.payload(), tr.p.jobCount())
+					}
 					ctx := &engineCtx{eng: e, me: dest, now: t, inRecv: true, pending: tr.p.payload()}
 					e.nodes[dest].Receive(ctx, tr.p)
 					if ctx.pending != 0 {
@@ -431,6 +450,8 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 		}
 
 		// Phase 2: processing (Speed units per step).
+		var stepProcessed int64
+		var stepBusy int
 		for i := 0; i < m; i++ {
 			if w := e.pools[i].work(); w > res.MaxPool[i] {
 				res.MaxPool[i] = w
@@ -446,6 +467,8 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 				res.BusySteps[i]++
 				res.Processed[i] += done
 				res.Makespan = t + 1
+				stepProcessed += done
+				stepBusy++
 				e.record(Event{T: t, Kind: EvProcess, Proc: i, Amount: done})
 			}
 		}
@@ -470,12 +493,29 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 		}
 		for _, tr := range e.outbox {
 			e.jobHops += tr.p.payload()
+			if e.mc != nil {
+				e.mc.Send(t, tr.from, tr.p.Dir, tr.p.payload(), tr.p.jobCount())
+			}
 		}
 
 		// Packets sent at t are delivered at t+Transit.
 		e.pipeline[slot] = e.outbox
 		e.outbox = inbox[:0]
 		res.Steps = t + 1
+
+		if e.mc != nil {
+			var inTransit int64
+			for _, pslot := range e.pipeline {
+				for _, tr := range pslot {
+					inTransit += tr.p.payload()
+				}
+			}
+			for i := range e.pools {
+				e.mcPools[i] = e.pools[i].work()
+			}
+			e.mc.Step(metrics.StepInfo{T: t, Pools: e.mcPools,
+				Processed: stepProcessed, Busy: stepBusy, InTransit: inTransit})
+		}
 
 		if quiescent(e) {
 			break
@@ -487,6 +527,9 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 	res.Trace = e.trace
 	if e.trace != nil {
 		e.trace.Steps = res.Steps
+	}
+	if e.mc != nil {
+		e.mc.End()
 	}
 	return res, nil
 }

@@ -25,6 +25,10 @@ const (
 	EvProcess
 )
 
+// evKindCount is the number of defined event kinds. Tests use it to keep
+// EventKind.String exhaustive: adding a kind without a name fails them.
+const evKindCount = int(EvProcess) + 1
+
 // String names the event kind.
 func (k EventKind) String() string {
 	switch k {
@@ -55,6 +59,7 @@ type Event struct {
 
 // Trace is the recorded event stream of a run (Options.Record).
 type Trace struct {
+	Algorithm    string
 	M            int
 	LinkCapacity int64
 	Speed        int64 // work units per processor per step (>= 1)

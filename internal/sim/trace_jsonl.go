@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaTrace identifies the JSONL trace format written by WriteJSONL.
+// Bump it when record shapes change incompatibly.
+const SchemaTrace = "ringsched.trace/v1"
+
+// traceHeader is the first line of a trace export.
+type traceHeader struct {
+	Schema       string `json:"schema"`
+	Kind         string `json:"kind"`
+	Case         string `json:"case,omitempty"`
+	Alg          string `json:"alg,omitempty"`
+	M            int    `json:"m"`
+	Steps        int64  `json:"steps"`
+	Speed        int64  `json:"speed"`
+	Transit      int64  `json:"transit"`
+	LinkCapacity int64  `json:"linkCapacity"`
+	Events       int    `json:"events"`
+}
+
+// traceEvent is one event line. Dir and Jobs appear only for sends and
+// deliveries; field order is fixed, so output is byte-stable.
+type traceEvent struct {
+	Kind   string `json:"kind"`
+	T      int64  `json:"t"`
+	Ev     string `json:"ev"`
+	Proc   int    `json:"proc"`
+	Dir    string `json:"dir,omitempty"`
+	Amount int64  `json:"amount"`
+	Jobs   int64  `json:"jobs,omitempty"`
+}
+
+// WriteJSONL exports the trace as JSON Lines: a schema-versioned header
+// record followed by one record per event in recorded (chronological)
+// order. caseID, when non-empty, labels the header so multi-run exports
+// remain separable. The output for a given run is byte-stable, which the
+// golden test in this package asserts.
+func (tr *Trace) WriteJSONL(w io.Writer, caseID string) error {
+	if tr == nil {
+		return fmt.Errorf("sim: nil trace")
+	}
+	bw := bufio.NewWriter(w)
+	emit := func(v any) error {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(data); err != nil {
+			return err
+		}
+		return bw.WriteByte('\n')
+	}
+	if err := emit(traceHeader{
+		Schema: SchemaTrace, Kind: "header", Case: caseID, Alg: tr.Algorithm,
+		M: tr.M, Steps: tr.Steps, Speed: tr.speed(), Transit: tr.transit(),
+		LinkCapacity: tr.LinkCapacity, Events: len(tr.Events),
+	}); err != nil {
+		return err
+	}
+	for _, ev := range tr.Events {
+		rec := traceEvent{Kind: "event", T: ev.T, Ev: ev.Kind.String(), Proc: ev.Proc, Amount: ev.Amount}
+		if ev.Kind == EvSend || ev.Kind == EvDeliver {
+			rec.Dir = ev.Dir.String()
+			rec.Jobs = ev.JobCount
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

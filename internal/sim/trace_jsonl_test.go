@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ringsched/internal/instance"
+)
+
+// goldenTrace runs the fixed 4-processor instance every golden assertion
+// uses: 3 units on processor 0, shipped 2 hops clockwise.
+func goldenTrace(t *testing.T) *Trace {
+	t.Helper()
+	in := instance.NewUnit([]int64{3, 0, 0, 0})
+	res, err := Run(in, hopAlg{k: 2}, Options{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace
+}
+
+// TestTraceJSONLGolden pins the exported trace of a tiny 4-processor
+// instance byte for byte. Regenerate with UPDATE_GOLDEN=1 go test after
+// an intentional schema change (and bump SchemaTrace).
+func TestTraceJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTrace(t).WriteJSONL(&buf, "golden-4proc"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "trace_4proc.jsonl")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSONL drifted from golden file %s:\ngot:\n%swant:\n%s", path, buf.Bytes(), want)
+	}
+}
+
+// TestTraceJSONLSchema checks every line is valid JSON, the header is
+// schema-versioned, and the event stream aggregates to the engine's own
+// counters (job-hops = sent payload, messages = deliveries).
+func TestTraceJSONLSchema(t *testing.T) {
+	in := instance.NewUnit([]int64{5, 0, 0, 0, 0, 0})
+	res, err := Run(in, hopAlg{k: 4}, Options{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Trace.WriteJSONL(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	var hops, msgs, events int64
+	first := true
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec struct {
+			Schema string `json:"schema"`
+			Kind   string `json:"kind"`
+			Ev     string `json:"ev"`
+			Amount int64  `json:"amount"`
+			Events int64  `json:"events"`
+			Case   string `json:"case"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		if first {
+			if rec.Kind != "header" || rec.Schema != SchemaTrace {
+				t.Fatalf("first line is not a versioned header: %s", sc.Text())
+			}
+			if rec.Case != "" {
+				t.Errorf("empty case id serialized: %s", sc.Text())
+			}
+			events = rec.Events
+			first = false
+			continue
+		}
+		if rec.Kind != "event" {
+			t.Fatalf("unexpected record kind %q", rec.Kind)
+		}
+		switch rec.Ev {
+		case "send":
+			hops += rec.Amount
+		case "deliver":
+			msgs++
+		}
+		events--
+	}
+	if events != 0 {
+		t.Errorf("header event count off by %d", events)
+	}
+	if hops != res.JobHops || msgs != res.Messages {
+		t.Errorf("trace aggregates hops=%d msgs=%d, engine hops=%d msgs=%d",
+			hops, msgs, res.JobHops, res.Messages)
+	}
+}
+
+func TestTraceJSONLNil(t *testing.T) {
+	var tr *Trace
+	if err := tr.WriteJSONL(&bytes.Buffer{}, ""); err == nil {
+		t.Error("nil trace exported without error")
+	}
+}
+
+// TestEventKindStringExhaustive fails when a kind is added without a
+// name (the fallback pattern leaks into the output) and pins the
+// fallback for unknown values.
+func TestEventKindStringExhaustive(t *testing.T) {
+	seen := map[string]bool{}
+	for k := 0; k < evKindCount; k++ {
+		name := EventKind(k).String()
+		if strings.HasPrefix(name, "EventKind(") {
+			t.Errorf("EventKind(%d) has no name", k)
+		}
+		if seen[name] {
+			t.Errorf("duplicate event kind name %q", name)
+		}
+		seen[name] = true
+	}
+	if got := EventKind(evKindCount).String(); !strings.HasPrefix(got, "EventKind(") {
+		t.Errorf("kind %d should hit the fallback, got %q", evKindCount, got)
+	}
+}

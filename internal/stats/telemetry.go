@@ -1,0 +1,26 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"ringsched/internal/metrics"
+)
+
+// RenderTelemetry renders one run's collector summary as a compact text
+// block: the single-run counterpart of experiment.Report.RenderTelemetry.
+func RenderTelemetry(s metrics.Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry (%s) alg=%s m=%d steps=%d\n", s.Schema, s.Algorithm, s.M, s.Steps)
+	fmt.Fprintf(&b, "  work        processed=%d of %d  job-hops=%d  messages=%d\n",
+		s.Processed, s.TotalWork, s.JobHops, s.Messages)
+	fmt.Fprintf(&b, "  processors  idle=%.1f%%  peak pool=%d  time-to-balance=%d  peak imbalance=%.2f\n",
+		100*s.IdleFraction, s.PeakPool, s.TimeToBalance, s.PeakImbalance)
+	fmt.Fprintf(&b, "  links       peak utilization=%.1f%%", 100*s.PeakLinkUtilization)
+	if s.BusiestLinkDir != "" {
+		fmt.Fprintf(&b, " (proc %d %s)", s.BusiestLinkProc, s.BusiestLinkDir)
+	}
+	fmt.Fprintf(&b, "  peak in-transit=%d  mean in-transit=%.2f\n", s.PeakInTransit, s.MeanInTransit)
+	fmt.Fprintf(&b, "  balance     gini initial=%.3f peak=%.3f\n", s.InitialGini, s.PeakGini)
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"ringsched/internal/metrics"
+)
+
+func TestRenderTelemetry(t *testing.T) {
+	s := metrics.Summary{
+		Schema: metrics.SchemaVersion, Algorithm: "C1", M: 8, Steps: 40,
+		TotalWork: 100, Processed: 100, JobHops: 60, Messages: 12,
+		IdleFraction: 0.6875, PeakPool: 25, TimeToBalance: 17, PeakImbalance: 21.875,
+		PeakLinkUtilization: 0.4, BusiestLinkProc: 3, BusiestLinkDir: "ccw",
+		PeakInTransit: 9, MeanInTransit: 2.5, InitialGini: 0.875, PeakGini: 0.875,
+	}
+	out := RenderTelemetry(s)
+	for _, want := range []string{
+		metrics.SchemaVersion, "alg=C1", "job-hops=60", "messages=12",
+		"idle=68.8%", "peak utilization=40.0%", "(proc 3 ccw)",
+		"time-to-balance=17", "gini initial=0.875",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTelemetryNoTraffic(t *testing.T) {
+	out := RenderTelemetry(metrics.Summary{Schema: metrics.SchemaVersion, Algorithm: "A1"})
+	if strings.Contains(out, "(proc") {
+		t.Errorf("busiest link printed for a run with no traffic:\n%s", out)
+	}
+}

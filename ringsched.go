@@ -45,6 +45,8 @@
 package ringsched
 
 import (
+	"io"
+
 	"ringsched/internal/adversary"
 	"ringsched/internal/bucket"
 	"ringsched/internal/capring"
@@ -52,6 +54,7 @@ import (
 	"ringsched/internal/experiment"
 	"ringsched/internal/instance"
 	"ringsched/internal/lb"
+	"ringsched/internal/metrics"
 	"ringsched/internal/online"
 	"ringsched/internal/opt"
 	"ringsched/internal/sim"
@@ -121,11 +124,42 @@ type Options = sim.Options
 // job-hop counts, and optionally a verifiable event trace.
 type Result = sim.Result
 
+// Trace is the verifiable event record of a run (Options.Record); its
+// WriteJSONL method exports it under the ringsched.trace/v1 schema.
+type Trace = sim.Trace
+
 // Schedule runs alg on in under the deterministic sequential engine and
 // returns the resulting schedule's metrics.
 func Schedule(in Instance, alg Algorithm, opts Options) (Result, error) {
 	return sim.Run(in, alg, opts)
 }
+
+// Collector receives the engine's observability stream — per-packet
+// sends/deliveries plus, on the sequential engine, an end-of-step snapshot
+// — via Options.Collector or DistOptions.Collector. Leave the field nil to
+// run without observation at full speed.
+type Collector = metrics.Collector
+
+// RingMetrics is the standard Collector: it folds the event stream into
+// link statistics, load-balance aggregates, and (optionally) a per-step
+// time series, and exports everything as schema-versioned JSONL.
+type RingMetrics = metrics.Ring
+
+// MetricsOpts configure NewRingMetrics.
+type MetricsOpts = metrics.Opts
+
+// MetricsSummary is a RingMetrics run's aggregate view.
+type MetricsSummary = metrics.Summary
+
+// NewRingMetrics returns an empty RingMetrics collector.
+func NewRingMetrics(o MetricsOpts) *RingMetrics { return metrics.New(o) }
+
+// NewProgressCollector returns a Collector that prints a live line to w
+// every `every` steps (for long runs on big rings).
+func NewProgressCollector(w io.Writer, every int64) Collector { return metrics.NewProgress(w, every) }
+
+// MultiCollector fans the observability stream out to several collectors.
+func MultiCollector(cs ...Collector) Collector { return metrics.Multi(cs...) }
 
 // DistResult reports a run on the concurrent goroutine runtime.
 type DistResult = dist.Result
