@@ -7,8 +7,9 @@
 // Usage:
 //
 //	ringexp [-algs A1,C2] [-group structured|random|adversary] [-case id]
-//	        [-deadline 15s] [-markdown] [-quiet] [-metrics]
-//	        [-trace-out suite.jsonl] [-progress] [-debug-addr :6060]
+//	        [-deadline 15s] [-suite-deadline 2m] [-workers 8] [-markdown]
+//	        [-quiet] [-metrics] [-trace-out suite.jsonl] [-progress]
+//	        [-debug-addr :6060]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"ringsched/internal/cli"
 	"ringsched/internal/experiment"
+	"ringsched/internal/metrics"
 	"ringsched/internal/opt"
 	"ringsched/internal/workload"
 )
@@ -38,6 +40,8 @@ func run(args []string, out, errw io.Writer) error {
 	group := fs.String("group", "", "restrict to one Table 1 group: structured, random or adversary")
 	caseID := fs.String("case", "", "restrict to one Table 1 case id, e.g. III-m100-L10")
 	deadline := fs.Duration("deadline", 15*time.Second, "per-case budget for the exact optimum solver")
+	suiteDeadline := fs.Duration("suite-deadline", 0, "total solver budget for the whole suite, split fairly across remaining cases (0 = none)")
+	workers := fs.Int("workers", 0, "cases to run concurrently (0 = GOMAXPROCS)")
 	maxArcs := fs.Int("maxarcs", 0, "cap the optimum solver's network size (0 = default); smaller falls back to lower bounds sooner")
 	markdown := fs.Bool("markdown", false, "emit the EXPERIMENTS.md tables after the histograms")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
@@ -90,8 +94,10 @@ func run(args []string, out, errw io.Writer) error {
 	}
 
 	o := experiment.Options{
-		OptLimits: opt.Limits{Deadline: *deadline, MaxArcs: *maxArcs},
-		Metrics:   *withMetrics,
+		OptLimits:     opt.Limits{Deadline: *deadline, MaxArcs: *maxArcs},
+		Metrics:       *withMetrics,
+		Workers:       *workers,
+		SuiteDeadline: *suiteDeadline,
 	}
 	if *algs != "" {
 		o.Algorithms = strings.Split(*algs, ",")
@@ -109,14 +115,31 @@ func run(args []string, out, errw io.Writer) error {
 	}
 
 	// Live telemetry: a status line on stderr and/or expvar counters on
-	// the debug server, both fed by the same per-case snapshots.
+	// the debug server, both fed by the same per-case snapshots. Solver
+	// counters are published as deltas over this run, so re-entrant test
+	// invocations see their own numbers.
 	casesDone := cli.DebugVar("ringexp.cases_done")
 	deadlineHits := cli.DebugVar("ringexp.deadline_hits")
+	solverProbes := cli.DebugVar("ringexp.solver_probes")
+	solverMemoHits := cli.DebugVar("ringexp.solver_memo_hits")
+	solverWarmReuses := cli.DebugVar("ringexp.solver_warm_reuses")
+	solverColdBuilds := cli.DebugVar("ringexp.solver_cold_builds")
 	casesDone.Set(0)
 	deadlineHits.Set(0)
+	solverStart := metrics.Solver.Snapshot()
+	publishSolver := func() metrics.SolverSnapshot {
+		d := metrics.Solver.Snapshot().Sub(solverStart)
+		solverProbes.Set(d.Probes)
+		solverMemoHits.Set(d.MemoHits)
+		solverWarmReuses.Set(d.WarmReuses)
+		solverColdBuilds.Set(d.ColdBuilds)
+		return d
+	}
+	publishSolver()
 	o.OnProgress = func(p experiment.Progress) {
 		casesDone.Set(int64(p.Done))
 		deadlineHits.Set(int64(p.DeadlineHits))
+		publishSolver()
 		if *progress {
 			fmt.Fprintf(errw, "\r[%d/%d] %-28s deadline-hits=%d elapsed=%s ",
 				p.Done, p.Total, p.CaseID, p.DeadlineHits, p.Elapsed.Round(time.Second))
@@ -129,6 +152,11 @@ func run(args []string, out, errw io.Writer) error {
 	rep, err := experiment.RunSuite(cases, o)
 	if err != nil {
 		return err
+	}
+	solver := publishSolver()
+	if !*quiet {
+		fmt.Fprintf(errw, "solver: probes=%d memo-hits=%d warm-reuses=%d cold-builds=%d\n",
+			solver.Probes, solver.MemoHits, solver.WarmReuses, solver.ColdBuilds)
 	}
 
 	if *jsonOut {

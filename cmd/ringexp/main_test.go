@@ -184,3 +184,64 @@ func TestExpDebugAddr(t *testing.T) {
 		t.Errorf("expvar cases_done = %s, want 1", v)
 	}
 }
+
+func TestExpWorkersMatchSequential(t *testing.T) {
+	jsonFor := func(workers string) []byte {
+		var out, errw bytes.Buffer
+		err := run([]string{"-group", "adversary", "-algs", "A2", "-quiet", "-json",
+			"-workers", workers, "-deadline", "20s", "-maxarcs", "300000"}, &out, &errw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// elapsedSeconds is the only timing-dependent report field.
+		var rep map[string]any
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		delete(rep, "elapsedSeconds")
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if !bytes.Equal(jsonFor("1"), jsonFor("4")) {
+		t.Error("-workers 4 report differs from -workers 1")
+	}
+}
+
+func TestExpSuiteDeadlineExpvars(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-group", "adversary", "-algs", "A1", "-quiet",
+		"-workers", "4", "-suite-deadline", "1ms"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := expvar.Get("ringexp.deadline_hits").String()
+	if hits == "0" {
+		t.Errorf("deadline_hits = %s under a 1ms suite budget", hits)
+	}
+	// Solver counters are published (this run may have zero probes — every
+	// case fell back — but the vars must exist and parse).
+	for _, name := range []string{"ringexp.solver_probes", "ringexp.solver_memo_hits",
+		"ringexp.solver_warm_reuses", "ringexp.solver_cold_builds"} {
+		if expvar.Get(name) == nil {
+			t.Errorf("expvar %s not published", name)
+		}
+	}
+}
+
+func TestExpSolverCountersReported(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-case", "III-m100-L10", "-algs", "A2",
+		"-deadline", "20s", "-maxarcs", "300000"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "solver: probes=") {
+		t.Errorf("solver summary line missing from stderr: %s", errw.String())
+	}
+	if v := expvar.Get("ringexp.solver_probes").String(); v == "0" {
+		t.Errorf("solver_probes = %s after an exact solve", v)
+	}
+}

@@ -6,18 +6,24 @@
 //
 //	ringopt -loads 100,0,0,0,0,0
 //	ringopt -case III-m100-L100 -deadline 30s
+//	ringopt -case II-m10-rand100,II-m100-rand100 -workers 2
 //	ringopt -in instance.json -capacitated
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 	"time"
 
 	"ringsched"
 	"ringsched/internal/cli"
+	"ringsched/internal/instance"
 	"ringsched/internal/lb"
 )
 
@@ -32,40 +38,92 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ringopt", flag.ContinueOnError)
 	inFile := fs.String("in", "", "instance JSON file")
 	loads := fs.String("loads", "", "inline comma-separated unit loads")
-	caseID := fs.String("case", "", "Table 1 case id")
-	deadline := fs.Duration("deadline", 30*time.Second, "solver budget")
+	caseID := fs.String("case", "", "Table 1 case id, or a comma-separated list of ids")
+	deadline := fs.Duration("deadline", 30*time.Second, "solver budget (per instance)")
 	capacitated := fs.Bool("capacitated", false, "solve under unit-capacity links (§7 model)")
+	workers := fs.Int("workers", 0, "instances to solve concurrently (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	in, err := cli.LoadInstance(*inFile, *loads, *caseID)
-	if err != nil {
-		return err
+	type item struct {
+		in instance.Instance
 	}
-
-	works := in.Works()
-	fmt.Fprintf(out, "instance: %v\n", in)
-	fmt.Fprintf(out, "lower bounds: lemma1-window=%d ceil(n/m)=%d p_max=%d",
-		lb.WindowBound(works), lb.AverageBound(in), lb.PMaxBound(in))
-	if *capacitated {
-		fmt.Fprintf(out, " lemma10-window=%d", lb.CapWindowBound(works))
-	}
-	fmt.Fprintln(out)
-
-	lim := ringsched.OptLimits{Deadline: *deadline}
-	start := time.Now()
-	var o ringsched.OptResult
-	if *capacitated {
-		o = ringsched.OptimalCapacitated(in, lim)
+	var items []item
+	if ids := strings.Split(*caseID, ","); *caseID != "" && len(ids) > 1 {
+		if *inFile != "" || *loads != "" {
+			return fmt.Errorf("specify exactly one of -in, -loads, -case")
+		}
+		for _, id := range ids {
+			in, err := cli.LoadInstance("", "", strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			items = append(items, item{in})
+		}
 	} else {
-		o = ringsched.Optimal(in, lim)
+		in, err := cli.LoadInstance(*inFile, *loads, *caseID)
+		if err != nil {
+			return err
+		}
+		items = append(items, item{in})
 	}
-	rel := "="
-	if !o.Exact {
-		rel = ">="
+
+	solve := func(in instance.Instance, w io.Writer) {
+		works := in.Works()
+		fmt.Fprintf(w, "instance: %v\n", in)
+		fmt.Fprintf(w, "lower bounds: lemma1-window=%d ceil(n/m)=%d p_max=%d",
+			lb.WindowBound(works), lb.AverageBound(in), lb.PMaxBound(in))
+		if *capacitated {
+			fmt.Fprintf(w, " lemma10-window=%d", lb.CapWindowBound(works))
+		}
+		fmt.Fprintln(w)
+
+		lim := ringsched.OptLimits{Deadline: *deadline}
+		start := time.Now()
+		var o ringsched.OptResult
+		if *capacitated {
+			o = ringsched.OptimalCapacitated(in, lim)
+		} else {
+			o = ringsched.Optimal(in, lim)
+		}
+		rel := "="
+		if !o.Exact {
+			rel = ">="
+		}
+		fmt.Fprintf(w, "optimum %s %d   method=%s flow-calls=%d elapsed=%s\n",
+			rel, o.Length, o.Method, o.FlowCalls, time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Fprintf(out, "optimum %s %d   method=%s flow-calls=%d elapsed=%s\n",
-		rel, o.Length, o.Method, o.FlowCalls, time.Since(start).Round(time.Millisecond))
+
+	// Solve instances concurrently, but print buffered per-instance output
+	// strictly in input order.
+	n := *workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(items) {
+		n = len(items)
+	}
+	bufs := make([]bytes.Buffer, len(items))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, n)
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			solve(items[i].in, &bufs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range bufs {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		if _, err := out.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
+	}
 	return nil
 }

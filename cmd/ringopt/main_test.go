@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -50,5 +51,39 @@ func TestOptErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) succeeded", args)
 		}
+	}
+}
+
+func TestOptMultiCaseParallel(t *testing.T) {
+	args := []string{"-case", "II-m10-rand100, III-m100-L10", "-workers", "2"}
+	var out1 bytes.Buffer
+	if err := run(args, &out1); err != nil {
+		t.Fatal(err)
+	}
+	s := out1.String()
+	if got := strings.Count(s, "optimum"); got != 2 {
+		t.Fatalf("optimum lines = %d, want 2:\n%s", got, s)
+	}
+	if got := strings.Count(s, "instance:"); got != 2 {
+		t.Errorf("instance lines = %d, want 2", got)
+	}
+	// Output order follows input order whatever order the solves finish in
+	// (elapsed= is the only timing-dependent field).
+	var out2 bytes.Buffer
+	if err := run(args, &out2); err != nil {
+		t.Fatal(err)
+	}
+	elapsedRe := regexp.MustCompile(`elapsed=\S+`)
+	a := elapsedRe.ReplaceAll(out1.Bytes(), []byte("elapsed=X"))
+	b := elapsedRe.ReplaceAll(out2.Bytes(), []byte("elapsed=X"))
+	if !bytes.Equal(a, b) {
+		t.Errorf("two parallel runs produced different output:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestOptMultiCaseRejectsMixedSelectors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-case", "a,b", "-loads", "1,2"}, &out); err == nil {
+		t.Error("mixed -case list and -loads accepted")
 	}
 }

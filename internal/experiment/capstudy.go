@@ -63,7 +63,6 @@ func CapStudy(lim opt.Limits) ([]CapCase, error) {
 
 	var out []CapCase
 	for _, g := range gens {
-		o := opt.Capacitated(g.in, lim)
 		res, err := sim.Run(g.in, capring.Algorithm{}, capring.Options())
 		if err != nil {
 			return nil, fmt.Errorf("capacitated study %s: %w", g.id, err)
@@ -72,6 +71,14 @@ func CapStudy(lim opt.Limits) ([]CapCase, error) {
 		if err != nil {
 			return nil, fmt.Errorf("capacitated study %s: %w", g.id, err)
 		}
+		// The §7 algorithm's makespan seeds the solver's upper bracket —
+		// it is a legal schedule, so its length both bounds OPT from above
+		// and caps the time-expanded network's horizon.
+		caseLim := lim
+		if caseLim.UpperHint == 0 || res.Makespan < caseLim.UpperHint {
+			caseLim.UpperHint = res.Makespan
+		}
+		o := opt.Capacitated(g.in, caseLim)
 		c := CapCase{
 			ID: g.id, M: g.in.M, Work: g.in.TotalWork(),
 			Opt: o, Makespan: res.Makespan, NoPass: noPass.Makespan,

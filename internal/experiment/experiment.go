@@ -7,11 +7,15 @@
 package experiment
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"ringsched/internal/bucket"
@@ -117,6 +121,19 @@ type Options struct {
 	// OnProgress, when non-nil, receives a snapshot after every
 	// completed case (for live status displays).
 	OnProgress func(Progress)
+	// Workers bounds how many cases run concurrently; 0 means
+	// GOMAXPROCS. The report is identical to a sequential run whatever
+	// the worker count — cases land in input order, and each run's trace
+	// is buffered and flushed whole.
+	Workers int
+	// SuiteDeadline, when positive, bounds the solver time of the whole
+	// suite: the remaining budget is split fairly across the remaining
+	// cases at the moment each is claimed (scaled by the worker count,
+	// since concurrent cases spend wall-clock together), so one slow case
+	// cannot starve the rest. Cases whose share runs out fall back to the
+	// certified lower bound and count toward DeadlineHits. The per-case
+	// OptLimits.Deadline still applies independently.
+	SuiteDeadline time.Duration
 }
 
 // Progress is a live snapshot of a running suite.
@@ -142,9 +159,32 @@ func (o Options) optLimits() opt.Limits {
 	return l
 }
 
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // RunSuite executes the given cases (use workload.Suite() for the paper's
-// 51) under the options.
+// 51) under the options, running up to Options.Workers cases concurrently.
 func RunSuite(cases []workload.Case, o Options) (Report, error) {
+	return RunSuiteContext(context.Background(), cases, o)
+}
+
+// caseOutcome is one worker's finished case, parked until the deterministic
+// assembly pass stitches results back together in input order.
+type caseOutcome struct {
+	cr    CaseResult
+	trace bytes.Buffer // buffered JSONL, flushed whole in case order
+}
+
+// RunSuiteContext is RunSuite under a context: cancelling ctx makes
+// in-flight solver searches fall back to their certified lower bounds at
+// the next probe boundary and pending cases start with an expired budget.
+// Simulation runs themselves are not interrupted (they are cheap next to
+// the solver), so a cancelled suite still returns a complete report.
+func RunSuiteContext(ctx context.Context, cases []workload.Case, o Options) (Report, error) {
 	started := time.Now()
 	specs := make(map[string]bucket.Spec, len(o.algorithms()))
 	for _, name := range o.algorithms() {
@@ -164,71 +204,176 @@ func RunSuite(cases []workload.Case, o Options) (Report, error) {
 			TraceExport:    o.TraceOut != nil,
 		},
 	}
-	collect := rep.Suite.Metrics
-	for _, c := range cases {
-		cr := CaseResult{
-			ID:    c.ID,
-			Group: c.Group,
-			M:     c.In.M,
-			Work:  c.In.TotalWork(),
-			Runs:  make(map[string]Run, len(specs)),
+
+	workers := o.workers()
+	if workers > len(cases) {
+		workers = len(cases)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int // next unclaimed case index
+		done     int
+		outcomes = make([]*caseOutcome, len(cases))
+		firstErr error
+		errIdx   = len(cases) // case index of firstErr; lowest one wins
+	)
+
+	// claim hands a worker the next case together with its solver budget.
+	// The fair suite-deadline split happens here, under the mutex, so each
+	// share reflects the budget actually left when the case starts: with W
+	// cases spending wall-clock concurrently, giving each of the k
+	// remaining cases remaining*W/k keeps the total at ~remaining.
+	claim := func() (int, opt.Limits, context.CancelFunc, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= len(cases) {
+			return 0, opt.Limits{}, nil, false
 		}
-		cr.Opt = opt.Uncapacitated(c.In, o.optLimits())
-		if !cr.Opt.Exact {
-			rep.DeadlineHits++
+		i := next
+		next++
+		lim := o.optLimits()
+		cctx, cancel := ctx, context.CancelFunc(func() {})
+		if o.SuiteDeadline > 0 {
+			remaining := o.SuiteDeadline - time.Since(started)
+			share := remaining * time.Duration(workers) / time.Duration(len(cases)-i)
+			// A spent budget yields an already-expired context: the case
+			// still runs (and reports), its solver falls back immediately.
+			cctx, cancel = context.WithDeadline(ctx, time.Now().Add(share))
 		}
-		rep.FlowCalls += cr.Opt.FlowCalls
-		for _, name := range rep.Algorithms {
-			simOpts := sim.Options{Record: o.TraceOut != nil}
-			var rm *metrics.Ring
-			if collect {
-				rm = metrics.New(metrics.Opts{})
-				simOpts.Collector = rm
-			}
-			res, err := sim.Run(c.In, specs[name], simOpts)
-			if err != nil {
-				return Report{}, fmt.Errorf("case %s, algorithm %s: %w", c.ID, name, err)
-			}
-			r := Run{Makespan: res.Makespan, JobHops: res.JobHops, Messages: res.Messages}
-			if cr.Opt.Length > 0 {
-				r.Factor = float64(res.Makespan) / float64(cr.Opt.Length)
-			} else {
-				r.Factor = 1
-			}
-			if rm != nil {
-				s := rm.Summary()
-				// The collector folds the same event stream the engine
-				// counts; disagreement means telemetry is lying.
-				if s.JobHops != res.JobHops || s.Messages != res.Messages {
-					return Report{}, fmt.Errorf("case %s, algorithm %s: collector (hops=%d, msgs=%d) disagrees with engine (hops=%d, msgs=%d)",
-						c.ID, name, s.JobHops, s.Messages, res.JobHops, res.Messages)
+		lim.Ctx = cctx
+		return i, lim, cancel, true
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, lim, cancel, ok := claim()
+				if !ok {
+					return
 				}
-				r.Telemetry = newTelemetry(s)
-			}
-			if o.TraceOut != nil {
-				if err := res.Trace.WriteJSONL(o.TraceOut, c.ID); err != nil {
-					return Report{}, fmt.Errorf("case %s, algorithm %s: trace export: %w", c.ID, name, err)
+				out, err := runCase(cases[i], rep.Algorithms, specs, lim, o)
+				cancel()
+				mu.Lock()
+				if err != nil {
+					if i < errIdx {
+						firstErr, errIdx = err, i
+					}
+					mu.Unlock()
+					return
 				}
-				if err := rm.WriteJSONL(o.TraceOut, c.ID); err != nil {
-					return Report{}, fmt.Errorf("case %s, algorithm %s: metrics export: %w", c.ID, name, err)
+				outcomes[i] = out
+				done++
+				if !out.cr.Opt.Exact {
+					rep.DeadlineHits++
 				}
+				rep.FlowCalls += out.cr.Opt.FlowCalls
+				if o.Progress != nil {
+					o.Progress(fmt.Sprintf("%-28s opt=%-7d exact=%-5v %s",
+						out.cr.ID, out.cr.Opt.Length, out.cr.Opt.Exact,
+						summarizeRuns(rep.Algorithms, out.cr.Runs)))
+				}
+				if o.OnProgress != nil {
+					o.OnProgress(Progress{
+						Done: done, Total: len(cases), CaseID: out.cr.ID,
+						DeadlineHits: rep.DeadlineHits, Elapsed: time.Since(started),
+					})
+				}
+				mu.Unlock()
 			}
-			cr.Runs[name] = r
-		}
-		rep.Cases = append(rep.Cases, cr)
-		if o.Progress != nil {
-			o.Progress(fmt.Sprintf("%-28s opt=%-7d exact=%-5v %s",
-				c.ID, cr.Opt.Length, cr.Opt.Exact, summarizeRuns(rep.Algorithms, cr.Runs)))
-		}
-		if o.OnProgress != nil {
-			o.OnProgress(Progress{
-				Done: len(rep.Cases), Total: len(cases), CaseID: c.ID,
-				DeadlineHits: rep.DeadlineHits, Elapsed: time.Since(started),
-			})
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return Report{}, firstErr
+	}
+
+	// Deterministic assembly: whatever order workers finished in, the
+	// report and the trace stream follow the input case order.
+	for _, out := range outcomes {
+		rep.Cases = append(rep.Cases, out.cr)
+		if o.TraceOut != nil {
+			if _, err := o.TraceOut.Write(out.trace.Bytes()); err != nil {
+				return Report{}, fmt.Errorf("case %s: trace export: %w", out.cr.ID, err)
+			}
 		}
 	}
 	rep.Elapsed = time.Since(started)
 	return rep, nil
+}
+
+// runCase runs every algorithm on one case and then solves for the exact
+// optimum. The algorithms go first so their best makespan can seed the
+// solver's upper bracket (any legal schedule is feasible, so its makespan
+// bounds OPT from above) — on most suite cases that collapses the binary
+// search to a probe or two.
+func runCase(c workload.Case, algorithms []string, specs map[string]bucket.Spec, lim opt.Limits, o Options) (*caseOutcome, error) {
+	out := &caseOutcome{cr: CaseResult{
+		ID:    c.ID,
+		Group: c.Group,
+		M:     c.In.M,
+		Work:  c.In.TotalWork(),
+		Runs:  make(map[string]Run, len(specs)),
+	}}
+	cr := &out.cr
+	collect := o.Metrics || o.TraceOut != nil
+
+	var best int64
+	for _, name := range algorithms {
+		simOpts := sim.Options{Record: o.TraceOut != nil}
+		var rm *metrics.Ring
+		if collect {
+			rm = metrics.New(metrics.Opts{})
+			simOpts.Collector = rm
+		}
+		res, err := sim.Run(c.In, specs[name], simOpts)
+		if err != nil {
+			return nil, fmt.Errorf("case %s, algorithm %s: %w", c.ID, name, err)
+		}
+		r := Run{Makespan: res.Makespan, JobHops: res.JobHops, Messages: res.Messages}
+		if best == 0 || res.Makespan < best {
+			best = res.Makespan
+		}
+		if rm != nil {
+			s := rm.Summary()
+			// The collector folds the same event stream the engine
+			// counts; disagreement means telemetry is lying.
+			if s.JobHops != res.JobHops || s.Messages != res.Messages {
+				return nil, fmt.Errorf("case %s, algorithm %s: collector (hops=%d, msgs=%d) disagrees with engine (hops=%d, msgs=%d)",
+					c.ID, name, s.JobHops, s.Messages, res.JobHops, res.Messages)
+			}
+			r.Telemetry = newTelemetry(s)
+		}
+		if o.TraceOut != nil {
+			if err := res.Trace.WriteJSONL(&out.trace, c.ID); err != nil {
+				return nil, fmt.Errorf("case %s, algorithm %s: trace export: %w", c.ID, name, err)
+			}
+			if err := rm.WriteJSONL(&out.trace, c.ID); err != nil {
+				return nil, fmt.Errorf("case %s, algorithm %s: metrics export: %w", c.ID, name, err)
+			}
+		}
+		cr.Runs[name] = r
+	}
+
+	if lim.UpperHint == 0 || (best > 0 && best < lim.UpperHint) {
+		lim.UpperHint = best
+	}
+	cr.Opt = opt.Uncapacitated(c.In, lim)
+	for name, r := range cr.Runs {
+		if cr.Opt.Length > 0 {
+			r.Factor = float64(r.Makespan) / float64(cr.Opt.Length)
+		} else {
+			r.Factor = 1
+		}
+		cr.Runs[name] = r
+	}
+	return out, nil
 }
 
 func summarizeRuns(algs []string, runs map[string]Run) string {

@@ -20,6 +20,13 @@ type edge struct {
 	reverse bool  // true for the zero-capacity half of an arc pair
 }
 
+// arcRef locates a forward arc inside the adjacency arena, so Reset and
+// SetCap can address arcs by the id AddArc returned.
+type arcRef struct {
+	from int
+	ei   int // index within adj[from]
+}
+
 // Network is a flow network. The zero value is unusable; create with
 // NewNetwork. A Network is not safe for concurrent use.
 type Network struct {
@@ -28,6 +35,8 @@ type Network struct {
 	iter    []int
 	queue   []int
 	numArcs int
+	refs    []arcRef // forward arcs in AddArc order
+	orig    []int64  // original capacity per forward arc
 }
 
 // NewNetwork returns an empty network with n nodes, numbered 0..n-1.
@@ -50,9 +59,25 @@ func (g *Network) AddNode() int {
 	return len(g.adj) - 1
 }
 
-// AddArc adds a directed arc from u to v with the given capacity.
-// Zero-capacity arcs are permitted but useless; negative capacities panic.
-func (g *Network) AddArc(u, v int, cap int64) {
+// Reserve preallocates the per-arc bookkeeping for n forward arcs, so a
+// builder that knows its arc count up front avoids growth reallocations.
+func (g *Network) Reserve(n int) {
+	if n <= cap(g.refs) {
+		return
+	}
+	refs := make([]arcRef, len(g.refs), n)
+	copy(refs, g.refs)
+	g.refs = refs
+	orig := make([]int64, len(g.orig), n)
+	copy(orig, g.orig)
+	g.orig = orig
+}
+
+// AddArc adds a directed arc from u to v with the given capacity and
+// returns its id (arcs are numbered 0,1,... in insertion order; pass the
+// id to SetCap to retune the arc between solves). Zero-capacity arcs are
+// permitted but useless; negative capacities panic.
+func (g *Network) AddArc(u, v int, cap int64) int {
 	if cap < 0 {
 		panic(fmt.Sprintf("flow: negative capacity %d", cap))
 	}
@@ -61,7 +86,52 @@ func (g *Network) AddArc(u, v int, cap int64) {
 	}
 	g.adj[u] = append(g.adj[u], edge{to: v, cap: cap, rev: len(g.adj[v])})
 	g.adj[v] = append(g.adj[v], edge{to: u, cap: 0, rev: len(g.adj[u]) - 1, reverse: true})
+	g.refs = append(g.refs, arcRef{from: u, ei: len(g.adj[u]) - 1})
+	g.orig = append(g.orig, cap)
 	g.numArcs++
+	return g.numArcs - 1
+}
+
+// Reset returns the network to a pre-Solve state so it can be solved
+// again without reallocating — the warm-start path of the binary-search
+// solvers in internal/opt, which probe many schedule lengths against one
+// network whose structure never changes.
+//
+// With keepArcs, every forward arc's residual capacity is restored to its
+// original value (as set by AddArc or the latest SetCap) and all pushed
+// flow is discarded. Without keepArcs, all arcs are removed (nodes are
+// kept) and the adjacency arenas are retained for reuse by AddArc.
+func (g *Network) Reset(keepArcs bool) {
+	if !keepArcs {
+		for i := range g.adj {
+			g.adj[i] = g.adj[i][:0]
+		}
+		g.refs = g.refs[:0]
+		g.orig = g.orig[:0]
+		g.numArcs = 0
+		return
+	}
+	for id, ref := range g.refs {
+		e := &g.adj[ref.from][ref.ei]
+		e.cap = g.orig[id]
+		g.adj[e.to][e.rev].cap = 0
+	}
+}
+
+// SetCap retunes the capacity of the forward arc with the given id (as
+// returned by AddArc). It must be called on a freshly built or Reset
+// network, before Solve — changing capacities of a solved network leaves
+// residuals inconsistent.
+func (g *Network) SetCap(id int, cap int64) {
+	if cap < 0 {
+		panic(fmt.Sprintf("flow: negative capacity %d", cap))
+	}
+	if id < 0 || id >= len(g.refs) {
+		panic(fmt.Sprintf("flow: arc id %d out of range [0,%d)", id, len(g.refs)))
+	}
+	ref := g.refs[id]
+	g.adj[ref.from][ref.ei].cap = cap
+	g.orig[id] = cap
 }
 
 // bfs builds the level graph; returns false when t is unreachable.
@@ -108,8 +178,9 @@ func (g *Network) dfs(u, t int, want int64) int64 {
 
 // Solve computes the maximum s-t flow and returns its value. The network
 // retains the residual state, so MinCut and FlowInto can be queried
-// afterwards. Capacities must not be modified after Solve; build a fresh
-// network per query instead.
+// afterwards. Capacities must not be modified after Solve; call Reset
+// (optionally followed by SetCap) before solving again, or build a fresh
+// network per query.
 func (g *Network) Solve(s, t int) int64 {
 	if s == t {
 		panic("flow: source equals sink")

@@ -286,3 +286,136 @@ func TestLargeChainThroughput(t *testing.T) {
 		t.Errorf("chain flow = %d, want 100", got)
 	}
 }
+
+func TestResetKeepArcsRestoresCapacities(t *testing.T) {
+	g := NewNetwork(4)
+	g.AddArc(0, 1, 4)
+	g.AddArc(0, 2, 6)
+	g.AddArc(1, 3, 4)
+	g.AddArc(2, 3, 5)
+	want := g.Solve(0, 3)
+	if want != 9 {
+		t.Fatalf("first solve = %d, want 9", want)
+	}
+	// Solving again without Reset sees only residuals.
+	if got := g.Solve(0, 3); got != 0 {
+		t.Fatalf("re-solve without Reset = %d, want 0", got)
+	}
+	for i := 0; i < 3; i++ {
+		g.Reset(true)
+		if got := g.Solve(0, 3); got != want {
+			t.Fatalf("solve %d after Reset(true) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestResetDropArcs(t *testing.T) {
+	g := NewNetwork(3)
+	g.AddArc(0, 1, 5)
+	g.AddArc(1, 2, 5)
+	if got := g.Solve(0, 2); got != 5 {
+		t.Fatalf("flow = %d, want 5", got)
+	}
+	g.Reset(false)
+	if g.NumArcs() != 0 {
+		t.Fatalf("NumArcs after Reset(false) = %d, want 0", g.NumArcs())
+	}
+	if got := g.Solve(0, 2); got != 0 {
+		t.Fatalf("flow on emptied network = %d, want 0", got)
+	}
+	// The network is rebuildable in place.
+	if id := g.AddArc(0, 2, 3); id != 0 {
+		t.Fatalf("arc id after Reset(false) = %d, want 0", id)
+	}
+	if got := g.Solve(0, 2); got != 3 {
+		t.Fatalf("flow after rebuild = %d, want 3", got)
+	}
+}
+
+func TestSetCapRetunesArcs(t *testing.T) {
+	g := NewNetwork(3)
+	a := g.AddArc(0, 1, 5)
+	b := g.AddArc(1, 2, 5)
+	if a != 0 || b != 1 {
+		t.Fatalf("arc ids = %d,%d, want 0,1", a, b)
+	}
+	if got := g.Solve(0, 2); got != 5 {
+		t.Fatalf("flow = %d, want 5", got)
+	}
+	g.Reset(true)
+	g.SetCap(b, 2)
+	if got := g.Solve(0, 2); got != 2 {
+		t.Fatalf("flow after SetCap(2) = %d, want 2", got)
+	}
+	// SetCap persists across later Resets: it rewrites the stored original.
+	g.Reset(true)
+	if got := g.Solve(0, 2); got != 2 {
+		t.Fatalf("flow after Reset(true) = %d, want 2", got)
+	}
+	g.Reset(true)
+	g.SetCap(b, 7)
+	if got := g.Solve(0, 2); got != 5 {
+		t.Fatalf("flow after SetCap(7) = %d, want 5 (bottleneck a)", got)
+	}
+}
+
+func TestSetCapPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewNetwork(2).SetCap(0, 1) },
+		func() {
+			g := NewNetwork(2)
+			id := g.AddArc(0, 1, 1)
+			g.SetCap(id, -1)
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWarmResolveMatchesColdOnRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(8)
+		type arc struct {
+			u, v int
+			c    int64
+		}
+		var arcs []arc
+		g := NewNetwork(n)
+		ids := make([]int, 0, 3*n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(rng.Intn(15))
+			ids = append(ids, g.AddArc(u, v, c))
+			arcs = append(arcs, arc{u, v, c})
+		}
+		// Re-solve the same warm network under several capacity retunes and
+		// compare against a cold build each time.
+		for round := 0; round < 4; round++ {
+			g.Reset(true)
+			for k := range ids {
+				arcs[k].c = int64(rng.Intn(15))
+				g.SetCap(ids[k], arcs[k].c)
+			}
+			cold := NewNetwork(n)
+			for _, a := range arcs {
+				cold.AddArc(a.u, a.v, a.c)
+			}
+			warmV, coldV := g.Solve(0, n-1), cold.Solve(0, n-1)
+			if warmV != coldV {
+				t.Fatalf("trial %d round %d: warm %d != cold %d", trial, round, warmV, coldV)
+			}
+		}
+	}
+}

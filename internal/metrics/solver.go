@@ -1,0 +1,62 @@
+package metrics
+
+import "sync/atomic"
+
+// SolverStats counts the exact-optimum solver's feasibility-probe
+// activity: how many max-flow probes ran, how many were answered from the
+// monotone memo without touching a network, how many reused a warm
+// (Reset + rescaled) network, and how many built a network from scratch.
+// The counters are process-wide and atomic, so the parallel suite runner
+// in internal/experiment can solve many cases concurrently while one
+// stats block stays consistent; cmd/ringexp republishes a snapshot via
+// expvar.
+type SolverStats struct {
+	probes     atomic.Int64
+	memoHits   atomic.Int64
+	warmReuses atomic.Int64
+	coldBuilds atomic.Int64
+}
+
+// Solver is the process-wide stats block fed by internal/opt.
+var Solver SolverStats
+
+// Probe records one feasibility max-flow computation.
+func (s *SolverStats) Probe() { s.probes.Add(1) }
+
+// MemoHit records a probe answered by the monotone feasibility memo.
+func (s *SolverStats) MemoHit() { s.memoHits.Add(1) }
+
+// WarmReuse records a probe served by resetting and rescaling an already
+// built network.
+func (s *SolverStats) WarmReuse() { s.warmReuses.Add(1) }
+
+// ColdBuild records a feasibility network built from scratch.
+func (s *SolverStats) ColdBuild() { s.coldBuilds.Add(1) }
+
+// SolverSnapshot is a point-in-time copy of the solver counters.
+type SolverSnapshot struct {
+	Probes     int64 `json:"probes"`
+	MemoHits   int64 `json:"memoHits"`
+	WarmReuses int64 `json:"warmReuses"`
+	ColdBuilds int64 `json:"coldBuilds"`
+}
+
+// Snapshot returns the current counter values.
+func (s *SolverStats) Snapshot() SolverSnapshot {
+	return SolverSnapshot{
+		Probes:     s.probes.Load(),
+		MemoHits:   s.memoHits.Load(),
+		WarmReuses: s.warmReuses.Load(),
+		ColdBuilds: s.coldBuilds.Load(),
+	}
+}
+
+// Sub returns the counter deltas accumulated since an earlier snapshot.
+func (a SolverSnapshot) Sub(b SolverSnapshot) SolverSnapshot {
+	return SolverSnapshot{
+		Probes:     a.Probes - b.Probes,
+		MemoHits:   a.MemoHits - b.MemoHits,
+		WarmReuses: a.WarmReuses - b.WarmReuses,
+		ColdBuilds: a.ColdBuilds - b.ColdBuilds,
+	}
+}

@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSolverStatsCountsConcurrently(t *testing.T) {
+	var s SolverStats
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Probe()
+				s.MemoHit()
+				s.WarmReuse()
+				s.ColdBuild()
+			}
+		}()
+	}
+	wg.Wait()
+	got := s.Snapshot()
+	want := int64(workers * perWorker)
+	if got.Probes != want || got.MemoHits != want || got.WarmReuses != want || got.ColdBuilds != want {
+		t.Errorf("snapshot = %+v, want all %d", got, want)
+	}
+}
+
+func TestSolverSnapshotSub(t *testing.T) {
+	var s SolverStats
+	s.Probe()
+	s.ColdBuild()
+	before := s.Snapshot()
+	s.Probe()
+	s.Probe()
+	s.MemoHit()
+	s.WarmReuse()
+	d := s.Snapshot().Sub(before)
+	want := SolverSnapshot{Probes: 2, MemoHits: 1, WarmReuses: 1, ColdBuilds: 0}
+	if d != want {
+		t.Errorf("delta = %+v, want %+v", d, want)
+	}
+}

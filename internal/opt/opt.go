@@ -26,11 +26,13 @@
 package opt
 
 import (
+	"context"
 	"time"
 
 	"ringsched/internal/flow"
 	"ringsched/internal/instance"
 	"ringsched/internal/lb"
+	"ringsched/internal/metrics"
 	"ringsched/internal/ring"
 )
 
@@ -56,6 +58,21 @@ type Limits struct {
 	// Deadline, when positive, is the wall-clock budget. It is checked
 	// between feasibility tests (a single test is never interrupted).
 	Deadline time.Duration
+	// UpperHint, when positive, is a schedule length the caller believes
+	// feasible (typically the makespan of a schedule it already computed)
+	// used to seed the binary search's upper bracket instead of
+	// galloping. The hint is verified with one probe; an infeasible hint
+	// costs that probe and the search proceeds correctly without it.
+	UpperHint int64
+	// Ctx, when non-nil, cancels the search early: a cancelled (or
+	// deadline-exceeded) context forces the lower-bound fallback at the
+	// next probe boundary, like an expired Deadline.
+	Ctx context.Context
+	// NoWarmStart disables reuse of one arena-allocated network across
+	// the search's feasibility probes, rebuilding per probe instead.
+	// Exists for the cold/warm ablation (BenchmarkSolverWarmStart);
+	// verdicts are identical either way.
+	NoWarmStart bool
 }
 
 func (l Limits) maxArcs() int {
@@ -65,8 +82,12 @@ func (l Limits) maxArcs() int {
 	return l.MaxArcs
 }
 
-// expired reports whether the deadline has passed since start.
+// expired reports whether the budget is exhausted: the wall-clock
+// deadline passed since start, or the context (when set) is done.
 func (l Limits) expired(start time.Time) bool {
+	if l.Ctx != nil && l.Ctx.Err() != nil {
+		return true
+	}
 	return l.Deadline > 0 && time.Since(start) > l.Deadline
 }
 
@@ -77,7 +98,6 @@ func Uncapacitated(in instance.Instance, lim Limits) Result {
 	if !in.IsUnit() {
 		panic("opt: Uncapacitated requires a unit-job instance")
 	}
-	start := time.Now()
 	works := in.Unit
 	m := in.M
 	n := in.TotalWork()
@@ -96,67 +116,11 @@ func Uncapacitated(in instance.Instance, lim Limits) Result {
 		return Result{Length: L, Exact: true, Method: "closed-form"}
 	}
 
-	// Feasibility is monotone in L; gallop up from the lower bound, then
-	// binary search the first feasible length.
-	res := Result{Method: "flow"}
-	feasible := func(L int64) (bool, bool) { // (feasible, withinBudget)
-		ok, fits := feasibleUncap(works, m, L, lim.maxArcs())
-		if fits {
-			res.FlowCalls++
-		}
-		return ok, fits
-	}
-
-	lo := bound // always infeasible-1 boundary candidate; bound itself may be feasible
-	f, fits := feasible(lo)
-	if !fits {
-		return Result{Length: bound, Exact: false, Method: "lb-fallback", FlowCalls: res.FlowCalls}
-	}
-	if f {
-		res.Length, res.Exact = lo, true
-		return res
-	}
-	// Gallop: find an upper bound.
-	step := int64(1)
-	hi := lo + step
-	for {
-		if lim.expired(start) {
-			return Result{Length: bound, Exact: false, Method: "lb-fallback", FlowCalls: res.FlowCalls}
-		}
-		f, fits = feasible(hi)
-		if !fits {
-			return Result{Length: bound, Exact: false, Method: "lb-fallback", FlowCalls: res.FlowCalls}
-		}
-		if f {
-			break
-		}
-		lo = hi
-		step *= 2
-		hi += step
-		if hi > n { // n is always feasible on a connected ring... cap anyway
-			hi = n
-		}
-	}
-	// Binary search in (lo, hi]: lo infeasible, hi feasible.
-	for hi-lo > 1 {
-		if lim.expired(start) {
-			// hi is feasible, so it is a valid upper bound, but not
-			// certified optimal; report the certified lower bound.
-			return Result{Length: bound, Exact: false, Method: "lb-fallback", FlowCalls: res.FlowCalls}
-		}
-		mid := lo + (hi-lo)/2
-		f, fits = feasible(mid)
-		if !fits {
-			return Result{Length: bound, Exact: false, Method: "lb-fallback", FlowCalls: res.FlowCalls}
-		}
-		if f {
-			hi = mid
-		} else {
-			lo = mid
-		}
-	}
-	res.Length, res.Exact = hi, true
-	return res
+	// Feasibility is monotone in L; metricSearch probes the bound, seeds
+	// the bracket from Limits.UpperHint when one is given, gallops
+	// otherwise, and binary-searches — all against one warm network.
+	top := ring.New(m)
+	return metricSearch(works, top.Dist, top.MaxDist(), bound, lim)
 }
 
 // singlePileClosedForm detects a single loaded processor whose optimal
@@ -182,13 +146,6 @@ func singlePileClosedForm(works []int64, m int) (int64, bool) {
 		return L, true
 	}
 	return 0, false
-}
-
-// feasibleUncap reports whether a length-L schedule exists on the ring,
-// and whether the network fit within maxArcs.
-func feasibleUncap(works []int64, m int, L int64, maxArcs int) (feasible, fits bool) {
-	top := ring.New(m)
-	return MetricFeasible(works, top.Dist, top.MaxDist(), L, maxArcs)
 }
 
 // MetricFeasible decides whether a length-L schedule exists for unit jobs
@@ -222,10 +179,11 @@ func MetricFeasible(works []int64, dist func(i, j int) int, maxDist int, L int64
 	}
 
 	// Arc estimate: chains m*(dcap+1), entries |sources|*m, source arcs.
-	estArcs := m*(dcap+1) + len(sources)*m + len(sources)
-	if estArcs > maxArcs {
+	if estMetricArcs(m, len(sources), dcap) > maxArcs {
 		return false, false
 	}
+	metrics.Solver.ColdBuild()
+	metrics.Solver.Probe()
 
 	// Node layout: 0 = S, 1 = T, chain nodes 2 + j*(dcap+1) + d, then one
 	// node per source appended.
@@ -256,29 +214,14 @@ func MetricFeasible(works []int64, dist func(i, j int) int, maxDist int, L int64
 
 // MetricOptimal binary-searches the smallest feasible L for an arbitrary
 // metric, between the certified bound lb (exclusive lower limit: lb-1 must
-// be infeasible) and hi (inclusive upper limit: must be feasible).
+// be infeasible) and hi (inclusive upper limit: must be feasible). The hi
+// bracket is carried as an upper hint, so the search runs warm-started
+// (one network, capacity rescaling, memoized monotone verdicts).
 func MetricOptimal(works []int64, dist func(i, j int) int, maxDist int, lbV, hi int64, lim Limits) Result {
-	start := time.Now()
-	res := Result{Method: "flow"}
-	lo := lbV - 1
-	for hi-lo > 1 {
-		if lim.expired(start) {
-			return Result{Length: lbV, Exact: false, Method: "lb-fallback", FlowCalls: res.FlowCalls}
-		}
-		mid := lo + (hi-lo)/2
-		ok, fits := MetricFeasible(works, dist, maxDist, mid, lim.maxArcs())
-		if !fits {
-			return Result{Length: lbV, Exact: false, Method: "lb-fallback", FlowCalls: res.FlowCalls}
-		}
-		res.FlowCalls++
-		if ok {
-			hi = mid
-		} else {
-			lo = mid
-		}
+	if lim.UpperHint == 0 || hi < lim.UpperHint {
+		lim.UpperHint = hi
 	}
-	res.Length, res.Exact = hi, true
-	return res
+	return metricSearch(works, dist, maxDist, lbV, lim)
 }
 
 // Capacitated returns the optimal schedule length when every directed link
@@ -299,36 +242,103 @@ func Capacitated(in instance.Instance, lim Limits) Result {
 		return Result{Length: n, Exact: true, Method: "closed-form"}
 	}
 	bound := lb.Capacitated(in)
+	if bound < 1 {
+		bound = 1
+	}
 	// The no-passing schedule is always legal: OPT <= max_i x_i.
-	var hi int64
+	var noPass int64
 	for _, x := range works {
-		if x > hi {
-			hi = x
+		if x > noPass {
+			noPass = x
 		}
 	}
-	if hi < bound {
-		hi = bound
+	if noPass < bound {
+		noPass = bound
+	}
+	// A caller-supplied hint (e.g. the §7 algorithm's makespan) usually
+	// tightens the provable no-passing bracket a lot — and, because the
+	// warm network's horizon is the initial hi, shrinks the arena too.
+	// The hint is verified below; noPass needs no probe.
+	hi := noPass
+	hintNeedsCheck := false
+	if h := lim.UpperHint; h > 0 && h < hi {
+		if h < bound {
+			h = bound
+		}
+		hi, hintNeedsCheck = h, true
 	}
 
 	res := Result{Method: "time-expanded-flow"}
-	feasible := func(L int64) (bool, bool) {
-		ok, fits := feasibleCap(works, m, L, lim.maxArcs())
-		if fits {
-			res.FlowCalls++
+	memo := probeMemo{maxInfeasible: bound - 1}
+	maxArcs := lim.maxArcs()
+	fallback := func() Result {
+		return Result{Length: bound, Exact: false, Method: "lb-fallback", FlowCalls: res.FlowCalls}
+	}
+
+	// Warm arena at the bracket's horizon; larger horizons (only needed
+	// if the hint fails verification) rebuild once. Over the arc budget,
+	// fall back to cold per-probe builds with the pre-warm-start MaxArcs
+	// semantics.
+	var warm *capNet
+	buildWarm := func(horizon int64) {
+		warm = nil
+		if lim.NoWarmStart || horizon <= 0 || estCapArcs(m, int(horizon)) > maxArcs {
+			return
 		}
-		return ok, fits
+		warm = newCapNet(works, m, int(horizon))
+	}
+	buildWarm(hi)
+
+	probe := func(L int64) (feasible, fits bool) {
+		if f, known := memo.lookup(L); known {
+			metrics.Solver.MemoHit()
+			return f, true
+		}
+		if warm != nil && L > int64(warm.steps) {
+			buildWarm(L)
+		}
+		var ok bool
+		if warm != nil {
+			ok = warm.feasible(L)
+			metrics.Solver.Probe()
+		} else {
+			var fit bool
+			ok, fit = feasibleCap(works, m, L, maxArcs)
+			if !fit {
+				return false, false
+			}
+		}
+		res.FlowCalls++
+		memo.record(L, ok)
+		return ok, true
+	}
+
+	if hintNeedsCheck {
+		if lim.expired(start) {
+			return fallback()
+		}
+		f, fits := probe(hi)
+		if !fits {
+			return fallback()
+		}
+		if !f {
+			// An infeasible hint is a caller bug; recover with the
+			// provable bracket.
+			hi = noPass
+			buildWarm(hi)
+		}
 	}
 
 	lo := bound - 1 // infeasible by definition of the lower bound
-	// Binary search (lo, hi]: hi feasible (no-pass), lo infeasible.
+	// Binary search (lo, hi]: hi feasible, lo infeasible.
 	for hi-lo > 1 {
 		if lim.expired(start) {
-			return Result{Length: bound, Exact: false, Method: "lb-fallback", FlowCalls: res.FlowCalls}
+			return fallback()
 		}
 		mid := lo + (hi-lo)/2
-		f, fits := feasible(mid)
+		f, fits := probe(mid)
 		if !fits {
-			return Result{Length: bound, Exact: false, Method: "lb-fallback", FlowCalls: res.FlowCalls}
+			return fallback()
 		}
 		if f {
 			hi = mid
