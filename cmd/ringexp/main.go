@@ -9,7 +9,13 @@
 //	ringexp [-algs A1,C2] [-group structured|random|adversary] [-case id]
 //	        [-deadline 15s] [-suite-deadline 2m] [-workers 8] [-markdown]
 //	        [-quiet] [-metrics] [-trace-out suite.jsonl] [-progress]
-//	        [-debug-addr :6060]
+//	        [-faults seed:spec] [-debug-addr :6060]
+//
+// With -faults every run executes under the given seeded fault schedule
+// (message loss, duplication, delay, processor stalls and crash-stops)
+// with the algorithms wrapped in the robust migration protocol; runs that
+// exhaust their step budget or lose work are reported per case and make
+// the command exit non-zero.
 package main
 
 import (
@@ -49,6 +55,7 @@ func run(args []string, out, errw io.Writer) error {
 	capStudy := fs.Bool("cap", false, "run the §7 capacitated study instead of the §6 suite")
 	withMetrics := fs.Bool("metrics", false, "collect per-run telemetry and print the per-algorithm table")
 	traceOut := fs.String("trace-out", "", "write every run's event trace and metrics as JSONL to this file")
+	faults := fs.String("faults", "", `fault-injection "seed:spec" applied to every run, e.g. 7:loss=0.1,crashes=2 (see README)`)
 	progress := fs.Bool("progress", false, "live suite status line (cases done / deadline hits / elapsed) on stderr")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address, e.g. localhost:6060")
 	if err := fs.Parse(args); err != nil {
@@ -98,6 +105,7 @@ func run(args []string, out, errw io.Writer) error {
 		Metrics:       *withMetrics,
 		Workers:       *workers,
 		SuiteDeadline: *suiteDeadline,
+		Faults:        *faults,
 	}
 	if *algs != "" {
 		o.Algorithms = strings.Split(*algs, ",")
@@ -159,6 +167,10 @@ func run(args []string, out, errw io.Writer) error {
 			solver.Probes, solver.MemoHits, solver.WarmReuses, solver.ColdBuilds)
 	}
 
+	if *faults != "" {
+		publishFaultTotals(rep)
+	}
+
 	if *jsonOut {
 		data, err := rep.JSON()
 		if err != nil {
@@ -168,7 +180,7 @@ func run(args []string, out, errw io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(errw, "\nbest algorithm: %s; elapsed %s\n", rep.BestAlgorithm(), rep.Elapsed.Round(time.Second))
-		return nil
+		return failOnRunErrors(rep, errw)
 	}
 
 	fmt.Fprint(out, rep.RenderFigures())
@@ -181,5 +193,47 @@ func run(args []string, out, errw io.Writer) error {
 		fmt.Fprint(out, rep.Markdown())
 	}
 	fmt.Fprintf(errw, "\nbest algorithm: %s; elapsed %s\n", rep.BestAlgorithm(), rep.Elapsed.Round(time.Second))
-	return nil
+	return failOnRunErrors(rep, errw)
+}
+
+// failOnRunErrors lists every errored run (a case/algorithm pair that
+// exhausted its step budget without quiescing, or lost work under fault
+// injection) and turns the invocation non-zero so CI catches it.
+func failOnRunErrors(rep experiment.Report, errw io.Writer) error {
+	errs := rep.RunErrors()
+	if len(errs) == 0 {
+		return nil
+	}
+	for _, e := range errs {
+		fmt.Fprintf(errw, "run error: %s\n", e)
+	}
+	return fmt.Errorf("%d of the suite's runs errored", len(errs))
+}
+
+// publishFaultTotals sums the per-run fault accounting over the whole
+// suite and publishes it on expvar (ringexp.faults.*).
+func publishFaultTotals(rep experiment.Report) {
+	var sum metrics.FaultReport
+	for _, c := range rep.Cases {
+		for _, r := range c.Runs {
+			f := r.Faults
+			if f == nil {
+				continue
+			}
+			sum.Drops += f.Drops
+			sum.DroppedWork += f.DroppedWork
+			sum.Dups += f.Dups
+			sum.Delays += f.Delays
+			sum.DelaySteps += f.DelaySteps
+			sum.StallSteps += f.StallSteps
+			sum.Crashes += f.Crashes
+			sum.PurgedWork += f.PurgedWork
+			sum.RehomedWork += f.RehomedWork
+			sum.Retries += f.Retries
+			sum.Acks += f.Acks
+			sum.ReclaimedWork += f.ReclaimedWork
+			sum.DupDiscards += f.DupDiscards
+		}
+	}
+	cli.PublishFaults("ringexp.faults", sum)
 }

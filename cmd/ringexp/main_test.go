@@ -245,3 +245,34 @@ func TestExpSolverCountersReported(t *testing.T) {
 		t.Errorf("solver_probes = %s after an exact solve", v)
 	}
 }
+
+func TestExpFaultsReportAndExit(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-quiet", "-case", "I-m10-point-big", "-algs", "A1,C1",
+		"-faults", "3:loss=0.1,dup=0.05,crashes=2", "-json"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"faults"`, `"crashes": 2`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+}
+
+func TestExpFaultBindErrorExitsNonZero(t *testing.T) {
+	// II-m10-rand100 has m=10, so a 3-crash budget needs m/4 >= 3, i.e.
+	// m >= 12: binding fails, the run errs, and the command must too.
+	var out, errw bytes.Buffer
+	err := run([]string{"-quiet", "-case", "II-m10-rand100", "-algs", "A1",
+		"-faults", "3:crashes=3", "-markdown"}, &out, &errw)
+	if err == nil {
+		t.Fatal("errored run did not fail the command")
+	}
+	if !strings.Contains(errw.String(), "run error: II-m10-rand100/A1") {
+		t.Errorf("stderr: %s", errw.String())
+	}
+	if !strings.Contains(out.String(), "## Errored runs") {
+		t.Errorf("markdown missing error section:\n%s", out.String())
+	}
+}

@@ -12,6 +12,7 @@
 //	ringsched -in instance.json -alg cap -gantt
 //	ringsched -loads 60,0,0,0,0,0 -alg C2 -distributed
 //	ringsched -case III-m100-L10 -alg C1 -metrics -trace-out run.jsonl
+//	ringsched -loads 100,0,0,0,0,0,0,0 -alg A1 -faults 7:loss=0.1,dup=0.05,crashes=2
 package main
 
 import (
@@ -44,6 +45,7 @@ func run(args []string, out, errw io.Writer) error {
 	distributed := fs.Bool("distributed", false, "run on the goroutine-per-processor runtime")
 	showMetrics := fs.Bool("metrics", false, "collect run telemetry and print the summary")
 	traceOut := fs.String("trace-out", "", "write the event trace and metrics as JSONL to this file")
+	faults := fs.String("faults", "", `fault-injection "seed:spec", e.g. 7:loss=0.1,dup=0.05,crashes=2 (see README)`)
 	progress := fs.Bool("progress", false, "print live step progress to stderr")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address, e.g. localhost:6060")
 	if err := fs.Parse(args); err != nil {
@@ -76,6 +78,22 @@ func run(args []string, out, errw io.Writer) error {
 		alg = spec
 	}
 
+	// Fault injection: bind the seeded plane to this ring, wrap the
+	// algorithm in the robust migration protocol, and point the engine at
+	// the plane so it can schedule drops, stalls and crash-stops.
+	var plane *ringsched.FaultPlane
+	if *faults != "" {
+		if *algName == "cap" {
+			return fmt.Errorf("-faults is not supported with the capacitated algorithm")
+		}
+		plane, err = ringsched.ParseFaultPlane(*faults, in.M, 0)
+		if err != nil {
+			return err
+		}
+		alg = ringsched.RobustAlgorithm(alg, plane, ringsched.FaultProtocol{})
+		opts.Faults = plane
+	}
+
 	// Assemble the observability chain: an aggregating collector when
 	// telemetry or an export is wanted, a live progress printer on top.
 	var rm *ringsched.RingMetrics
@@ -92,12 +110,19 @@ func run(args []string, out, errw io.Writer) error {
 	fmt.Fprintf(out, "instance: %v   lower bound: %d\n", in, ringsched.LowerBound(in))
 
 	if *distributed {
-		res, err := ringsched.ScheduleDistributed(in, alg, ringsched.DistOptions{Collector: opts.Collector})
+		dopts := ringsched.DistOptions{Collector: opts.Collector}
+		if plane != nil {
+			// Assigning a nil *FaultPlane would still make the interface
+			// field non-nil and switch the runtime onto the fault path.
+			dopts.Faults = plane
+		}
+		res, err := ringsched.ScheduleDistributed(in, alg, dopts)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "%s (goroutine runtime): makespan=%d steps=%d jobhops=%d messages=%d\n",
 			res.Algorithm, res.Makespan, res.Steps, res.JobHops, res.Messages)
+		emitFaults(out, rm, plane)
 		if err := emitObservability(out, rm, *showMetrics, *traceOut, *caseID, nil); err != nil {
 			return err
 		}
@@ -113,10 +138,35 @@ func run(args []string, out, errw io.Writer) error {
 	if *gantt && res.Trace != nil {
 		fmt.Fprint(out, res.Trace.GanttUtilization(72))
 	}
+	if plane != nil && res.Trace != nil {
+		// The trace is on hand anyway; prove the robustness invariants
+		// (no unit lost or double-processed, no work on dead processors).
+		if err := ringsched.VerifyFaulty(in, res.Trace, plane); err != nil {
+			return fmt.Errorf("fault invariants violated: %w", err)
+		}
+		fmt.Fprintln(out, "fault invariants: ok (no work lost or double-processed)")
+	}
+	emitFaults(out, rm, plane)
 	if err := emitObservability(out, rm, *showMetrics, *traceOut, *caseID, res.Trace); err != nil {
 		return err
 	}
 	return maybeOpt(out, in, *showOpt, *algName, res.Makespan)
+}
+
+// emitFaults prints the fault plane's accounting, folds it into the
+// telemetry summary, and publishes it on expvar for the debug server.
+func emitFaults(out io.Writer, rm *ringsched.RingMetrics, plane *ringsched.FaultPlane) {
+	if plane == nil {
+		return
+	}
+	f := plane.Report()
+	if rm != nil {
+		rm.SetFaults(f)
+	}
+	cli.PublishFaults("ringsched.faults", f)
+	fmt.Fprintf(out, "faults: drops=%d dups=%d delays=%d stall-steps=%d crashes=%d retries=%d acks=%d dup-discards=%d rehomed=%d reclaimed=%d purged=%d\n",
+		f.Drops, f.Dups, f.Delays, f.StallSteps, f.Crashes, f.Retries, f.Acks,
+		f.DupDiscards, f.RehomedWork, f.ReclaimedWork, f.PurgedWork)
 }
 
 // emitObservability prints the telemetry summary and/or writes the JSONL

@@ -150,3 +150,45 @@ func TestRunDebugAddr(t *testing.T) {
 		t.Errorf("debug stderr: %s", errw)
 	}
 }
+
+func TestRunWithFaults(t *testing.T) {
+	out := runOK(t, "-loads", "100,0,0,0,0,0,0,0", "-alg", "A1",
+		"-faults", "7:loss=0.1,dup=0.05,crashes=2", "-metrics")
+	for _, want := range []string{"A1+robust: makespan=", "faults: drops=", "crashes=2", "processed=100 of 100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithFaultsVerifiesTrace(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "faulty.jsonl")
+	out := runOK(t, "-loads", "60,0,0,0,0,0", "-alg", "C1",
+		"-faults", "5:loss=0.2,stalls=1x4", "-trace-out", f)
+	if !strings.Contains(out, "fault invariants: ok") {
+		t.Errorf("missing invariant check:\n%s", out)
+	}
+	if _, err := os.Stat(f); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunDistributedWithFaults(t *testing.T) {
+	out := runOK(t, "-loads", "60,0,0,0,0,0", "-alg", "A2", "-distributed",
+		"-faults", "9:loss=0.15,dup=0.05")
+	for _, want := range []string{"A2+robust (goroutine runtime): makespan=", "faults: drops="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadFaults(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-loads", "10,0", "-faults", "1:loss=0.9"}, &out, &errw); err == nil {
+		t.Error("out-of-range loss accepted")
+	}
+	if err := run([]string{"-loads", "10,0", "-alg", "cap", "-faults", "1:loss=0.1"}, &out, &errw); err == nil {
+		t.Error("cap+faults accepted")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+
+	"ringsched/internal/metrics"
 )
 
 // StartDebugServer serves net/http/pprof and expvar on addr (the -debug-addr
@@ -32,4 +34,22 @@ func DebugVar(name string) *expvar.Int {
 		return v
 	}
 	return expvar.NewInt(name)
+}
+
+// PublishFaults exposes a run's fault-injection and recovery counters on
+// expvar under prefix (e.g. "ringsched.faults"), next to the solver
+// counters on the -debug-addr server.
+func PublishFaults(prefix string, f metrics.FaultReport) {
+	set := func(name string, v int64) { DebugVar(prefix + "." + name).Set(v) }
+	set("drops", f.Drops)
+	set("dups", f.Dups)
+	set("delays", f.Delays)
+	set("stall_steps", f.StallSteps)
+	set("crashes", f.Crashes)
+	set("retries", f.Retries)
+	set("acks", f.Acks)
+	set("dup_discards", f.DupDiscards)
+	set("rehomed_work", f.RehomedWork)
+	set("reclaimed_work", f.ReclaimedWork)
+	set("purged_work", f.PurgedWork)
 }

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	"ringsched/internal/metrics"
 )
 
 func TestStartDebugServer(t *testing.T) {
@@ -43,5 +45,24 @@ func TestDebugVarReuse(t *testing.T) {
 func TestStartDebugServerBadAddr(t *testing.T) {
 	if _, err := StartDebugServer("256.0.0.1:bad"); err == nil {
 		t.Error("bad address accepted")
+	}
+}
+
+func TestPublishFaults(t *testing.T) {
+	f := metrics.FaultReport{Drops: 3, Crashes: 2, Retries: 5, RehomedWork: 28}
+	PublishFaults("test.faults", f)
+	// Re-publishing must update in place, not panic on re-registration.
+	f.Drops = 4
+	PublishFaults("test.faults", f)
+	for name, want := range map[string]int64{
+		"test.faults.drops":        4,
+		"test.faults.crashes":      2,
+		"test.faults.retries":      5,
+		"test.faults.rehomed_work": 28,
+		"test.faults.acks":         0,
+	} {
+		if got := DebugVar(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
 	}
 }

@@ -16,17 +16,27 @@
 //  1. exchange: read every packet the neighbors sent last step, run the
 //     Node callbacks (Start/Receive), process one unit of work, run Tick;
 //     sends buffer locally.
-//  2. flush: push buffered packets into the neighbor channels (capacity
-//     is bounded, but a full step's traffic always fits because each
-//     processor sends a bounded number of packets per step per link —
-//     the channels are sized generously and flushing cannot deadlock
-//     because every goroutine drains its inbox before the next flush).
+//  2. flush: push buffered packets into the neighbor channels. Channel
+//     capacity is bounded (chanCap packets per link per step); the flush
+//     counts its pushes first and fails the run with processor/step/link
+//     context if a step's traffic would not fit, instead of blocking on
+//     a full channel and deadlocking the barrier.
 //
 // The coordinator detects quiescence (no pool work, no in-flight payload)
 // via per-step aggregate counters and stops all goroutines.
+//
+// Like the sequential engine, this runtime consults an optional fault
+// plane (Options.Faults): packet loss/duplication/extra delay applied at
+// flush time against per-link transmission sequence numbers, transient
+// stalls that buffer arrivals, and crash-stop failures that re-home the
+// dead processor's pool to its surviving neighbors. Verdicts are pure
+// functions of (seed, link, sequence number), so a run here observes the
+// identical fault schedule as internal/sim under the same plane spec —
+// the property the chaos harness in this package cross-checks.
 package dist
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -57,6 +67,11 @@ type Options struct {
 	// all pools atomically, so the per-step Step callback is not made;
 	// metrics.Ring derives the step count from the event stream instead.
 	Collector metrics.Collector
+	// Faults, when non-nil, is the fault-injection plane (see
+	// sim.FaultPlane and internal/fault). It must be safe for concurrent
+	// use; internal/fault's Plane is. Nil means fault-free execution on
+	// the exact pre-fault code path.
+	Faults sim.FaultPlane
 }
 
 // Run executes alg on in with one goroutine per processor and returns the
@@ -65,6 +80,14 @@ type Options struct {
 // normalized (clockwise arrivals before counter-clockwise, matching
 // internal/sim).
 func Run(in instance.Instance, alg sim.Algorithm, opts Options) (Result, error) {
+	return RunContext(context.Background(), in, alg, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled the
+// coordinator stops the computation at the next step barrier, every
+// processor goroutine exits, and the context's error is returned. The
+// partial Result is still populated.
+func RunContext(ctx context.Context, in instance.Instance, alg sim.Algorithm, opts Options) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -72,6 +95,11 @@ func Run(in instance.Instance, alg sim.Algorithm, opts Options) (Result, error) 
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 8*(in.TotalWork()+int64(m)) + 64
+		if opts.Faults != nil {
+			// Faulty runs legitimately take longer: retry backoff, stalls
+			// and re-homing all stretch the schedule.
+			maxSteps *= 8
+		}
 		if maxSteps > MaxStepsDefault {
 			maxSteps = MaxStepsDefault
 		}
@@ -90,6 +118,7 @@ func Run(in instance.Instance, alg sim.Algorithm, opts Options) (Result, error) 
 		}
 		procs[i] = newProc(i, m, alg.NewNode(local))
 		procs[i].mc = opts.Collector
+		procs[i].fp = opts.Faults
 	}
 	if opts.Collector != nil {
 		opts.Collector.Begin(metrics.RunInfo{
@@ -97,8 +126,8 @@ func Run(in instance.Instance, alg sim.Algorithm, opts Options) (Result, error) 
 			TotalWork: in.TotalWork(),
 		})
 	}
-	// Wire neighbor channels: generous buffers — a processor sends at
-	// most a handful of packets per link per step.
+	// Wire neighbor channels: chanCap buffers per link, enforced at Send
+	// and flush time rather than assumed.
 	for i := 0; i < m; i++ {
 		procs[i].cwOut = procs[(i+1)%m].cwIn
 		procs[i].ccwOut = procs[(i-1+m)%m].ccwIn
@@ -116,6 +145,18 @@ func Run(in instance.Instance, alg sim.Algorithm, opts Options) (Result, error) 
 		messages int64
 		failure  error
 	)
+	fail := func(err error) {
+		statusMu.Lock()
+		if failure == nil {
+			failure = err
+		}
+		statusMu.Unlock()
+	}
+	failed := func() bool {
+		statusMu.Lock()
+		defer statusMu.Unlock()
+		return failure != nil
+	}
 
 	stop := make(chan struct{})
 	for i := 0; i < m; i++ {
@@ -135,7 +176,7 @@ func Run(in instance.Instance, alg sim.Algorithm, opts Options) (Result, error) 
 				if err != nil && failure == nil {
 					failure = err
 				}
-				busyWork += p.poolWork() + p.outboundPayload()
+				busyWork += p.busyPayload()
 				if p.processedThisStep {
 					if t+1 > makespan {
 						makespan = t + 1
@@ -149,6 +190,9 @@ func Run(in instance.Instance, alg sim.Algorithm, opts Options) (Result, error) 
 				if done := barrier.wait(func() bool {
 					statusMu.Lock()
 					defer statusMu.Unlock()
+					if err := ctx.Err(); err != nil && failure == nil {
+						failure = fmt.Errorf("dist: run canceled at t=%d: %w", t, err)
+					}
 					lastBusy = busyWork
 					busyWork = 0
 					steps = t + 1
@@ -158,10 +202,14 @@ func Run(in instance.Instance, alg sim.Algorithm, opts Options) (Result, error) 
 				}
 
 				// Phase 2: flush sends so they arrive next step.
-				p.flush()
+				if err := p.flush(t); err != nil {
+					fail(err)
+				}
 
-				// Barrier B: all packets delivered before the next step.
-				if barrier.wait(nil) {
+				// Barrier B: all packets delivered before the next step; a
+				// flush failure (link overflow) stops the run here, before
+				// anyone could block on a full channel again.
+				if barrier.wait(failed) {
 					return
 				}
 			}

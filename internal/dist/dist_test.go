@@ -9,6 +9,7 @@ import (
 	"ringsched/internal/capring"
 	"ringsched/internal/instance"
 	"ringsched/internal/metrics"
+	"ringsched/internal/ring"
 	"ringsched/internal/sim"
 )
 
@@ -236,10 +237,43 @@ func TestSendVolumeGuard(t *testing.T) {
 	if _, err := Run(instance.NewUnit([]int64{10, 0}), floodAlg{}, Options{}); err != nil {
 		t.Fatalf("small flood failed: %v", err)
 	}
-	// Over the cap: surfaced as an error (panic caught per processor).
+	// Over the cap: surfaced as an error carrying processor, link and
+	// step context (panic caught per processor), not a deadlock.
 	_, err := Run(instance.NewUnit([]int64{1000, 0}), floodAlg{}, Options{})
-	if err == nil || !strings.Contains(err.Error(), "chanCap") {
-		t.Errorf("flood not rejected: %v", err)
+	if err == nil {
+		t.Fatal("flood not rejected")
+	}
+	for _, want := range []string{"processor 0", "cw link", "step 0", "256"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("flood error %q missing %q", err, want)
+		}
+	}
+}
+
+// dupPlane duplicates every packet, so a step that legally sends under
+// the channel capacity can overflow the link at flush time — the flush
+// must fail with context rather than block the barrier on a full channel.
+type dupPlane struct{}
+
+func (dupPlane) SendVerdict(from int, dir ring.Direction, seq, payload int64) (bool, bool, int64) {
+	return false, true, 0
+}
+func (dupPlane) Stalled(proc int, t int64) bool       { return false }
+func (dupPlane) CrashStep(proc int) int64             { return -1 }
+func (dupPlane) ObservePurge(t int64, payload int64)  {}
+func (dupPlane) ObserveRehome(t int64, payload int64) {}
+
+func TestFlushOverflowGuard(t *testing.T) {
+	// 200 sends pass the per-send guard (< 256), but duplication doubles
+	// them at flush time: 400 packets cannot enter a 256-slot channel.
+	_, err := Run(instance.NewUnit([]int64{200, 0}), floodAlg{}, Options{Faults: dupPlane{}})
+	if err == nil {
+		t.Fatal("flush overflow not rejected")
+	}
+	for _, want := range []string{"processor 0", "cw link", "t=0", "channel capacity"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("overflow error %q missing %q", err, want)
+		}
 	}
 }
 

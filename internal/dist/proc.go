@@ -11,7 +11,9 @@ import (
 // chanCap bounds per-link per-step traffic. The bucket algorithms send at
 // most one bucket per link per step and the capacitated algorithm one job
 // plus one control message; 256 leaves lots of headroom for user-defined
-// algorithms.
+// algorithms. Send and flush enforce the bound explicitly (failing with
+// processor/step/link context) instead of assuming it and deadlocking on
+// a full channel.
 const chanCap = 256
 
 // proc is one processor goroutine's state.
@@ -37,6 +39,14 @@ type proc struct {
 	// Per-step send buffers, flushed after the step barrier.
 	outCw, outCcw []*sim.Packet
 
+	// Fault state (fp == nil on the fault-free path, which is untouched).
+	fp      sim.FaultPlane
+	dead    bool
+	linkSeq [2]int64                   // per-outbound-link transmission counters (cw, ccw)
+	delayed [2]map[int64][]*sim.Packet // fault-delayed packets keyed by flush step
+	rehome  [2][]*sim.Packet           // crash-recovery transfers awaiting flush
+	stall   []*sim.Packet              // arrivals buffered while stalled
+
 	// Metrics.
 	processedTotal    int64
 	processedThisStep bool
@@ -46,8 +56,6 @@ type proc struct {
 	// mc, when non-nil, receives Send/Deliver telemetry (shared across
 	// all processor goroutines; must be concurrent-safe).
 	mc metrics.Collector
-
-	err error
 }
 
 func newProc(index, m int, node sim.Node) *proc {
@@ -65,15 +73,41 @@ func (p *proc) poolWork() int64 { return p.total }
 func (p *proc) outboundPayload() int64 {
 	var w int64
 	for _, pkt := range p.outCw {
-		w += pkt.Work
-		for _, s := range pkt.Jobs {
-			w += s
-		}
+		w += pktPayload(pkt)
 	}
 	for _, pkt := range p.outCcw {
-		w += pkt.Work
-		for _, s := range pkt.Jobs {
-			w += s
+		w += pktPayload(pkt)
+	}
+	return w
+}
+
+// busyPayload is this processor's contribution to the quiescence
+// aggregate: pool work plus every place payload can hide. Under fault
+// injection that includes fault-delayed packets, crash-recovery transfers
+// awaiting flush, stall-buffered arrivals, and the robust protocol's
+// sent-but-unacknowledged payload (a retry may re-create it) — the same
+// accounting as internal/sim's quiescent.
+func (p *proc) busyPayload() int64 {
+	w := p.poolWork() + p.outboundPayload()
+	if p.fp == nil {
+		return w
+	}
+	for d := 0; d < 2; d++ {
+		for _, pkts := range p.delayed[d] {
+			for _, pkt := range pkts {
+				w += pktPayload(pkt)
+			}
+		}
+		for _, pkt := range p.rehome[d] {
+			w += pktPayload(pkt)
+		}
+	}
+	for _, pkt := range p.stall {
+		w += pktPayload(pkt)
+	}
+	if !p.dead {
+		if o, ok := p.node.(sim.OutstandingReporter); ok {
+			w += o.Outstanding()
 		}
 	}
 	return w
@@ -89,6 +123,30 @@ func (p *proc) step(t int64) (err error) {
 	p.processedThisStep = false
 	p.hopsThisStep = 0
 	p.messagesThisStep = 0
+
+	if p.fp != nil {
+		if t > 0 && !p.dead && p.fp.CrashStep(p.index) == t {
+			p.crashNow(t)
+		}
+		if p.dead {
+			p.drainDead(t)
+			return nil
+		}
+		if p.fp.Stalled(p.index, t) {
+			p.drainStalled(t)
+			return nil
+		}
+		// A stall that ended this step replays its buffered deliveries
+		// before fresh arrivals (matching the sequential engine).
+		if t > 0 && len(p.stall) > 0 {
+			buf := p.stall
+			p.stall = nil
+			ctx := &distCtx{p: p, now: t}
+			for _, pkt := range buf {
+				p.receiveOne(ctx, pkt, t)
+			}
+		}
+	}
 	ctx := &distCtx{p: p, now: t}
 
 	if t == 0 {
@@ -100,11 +158,7 @@ func (p *proc) step(t int64) (err error) {
 			for {
 				select {
 				case pkt := <-ch:
-					p.messagesThisStep++
-					if p.mc != nil {
-						p.mc.Deliver(t, p.index, pkt.Dir, pktPayload(pkt), pktJobs(pkt))
-					}
-					p.node.Receive(ctx, pkt)
+					p.receiveOne(ctx, pkt, t)
 				default:
 					goto drained
 				}
@@ -135,7 +189,9 @@ func (p *proc) step(t int64) (err error) {
 
 	p.node.Tick(ctx)
 
-	// Job-hop accounting for everything sent this step.
+	// Job-hop accounting for everything sent this step (pre-fault, like
+	// the sequential engine: drops and duplications do not change what
+	// the node sent).
 	p.hopsThisStep = p.outboundPayload()
 	if p.mc != nil {
 		for _, pkt := range p.outCw {
@@ -146,6 +202,137 @@ func (p *proc) step(t int64) (err error) {
 		}
 	}
 	return nil
+}
+
+// senderOf returns the upstream neighbor a packet travelling in dir
+// arrived from.
+func (p *proc) senderOf(dir ring.Direction) int {
+	if dir == ring.Clockwise {
+		return (p.index - 1 + p.m) % p.m
+	}
+	return (p.index + 1) % p.m
+}
+
+// senderDead reports whether the upstream neighbor behind an arriving
+// packet has crash-stopped by step t (crash-stop loses the wire: its
+// in-flight output is purged at delivery, so the payload the robust
+// protocol salvaged at the crash cannot also arrive).
+func (p *proc) senderDead(dir ring.Direction, t int64) bool {
+	c := p.fp.CrashStep(p.senderOf(dir))
+	return c >= 0 && t >= c
+}
+
+// receiveOne routes one arriving packet at a live, unstalled processor:
+// crash-recovery transfers deposit straight into the pool, packets from
+// crashed senders are purged, everything else runs the Receive callback.
+// It mirrors internal/sim's deliverOne.
+func (p *proc) receiveOne(ctx *distCtx, pkt *sim.Packet, t int64) {
+	if p.fp != nil {
+		if _, ok := pkt.Meta.(*sim.Rehome); ok {
+			p.unit += pkt.Work
+			p.total += pkt.Work
+			for _, s := range pkt.Jobs {
+				p.jobs = append(p.jobs, s)
+				p.total += s
+			}
+			return
+		}
+		if p.senderDead(pkt.Dir, t) {
+			p.fp.ObservePurge(t, pktPayload(pkt))
+			return
+		}
+	}
+	p.messagesThisStep++
+	if p.mc != nil {
+		p.mc.Deliver(t, p.index, pkt.Dir, pktPayload(pkt), pktJobs(pkt))
+	}
+	p.node.Receive(ctx, pkt)
+}
+
+// drainStalled buffers this step's arrivals for replay when the stall
+// ends. Crash-recovery transfers still deposit (the pool is engine
+// state, not node state) and dead senders' packets are still purged,
+// matching the sequential engine's routing order.
+func (p *proc) drainStalled(t int64) {
+	for _, ch := range []chan *sim.Packet{p.cwIn, p.ccwIn} {
+		for {
+			select {
+			case pkt := <-ch:
+				if _, ok := pkt.Meta.(*sim.Rehome); ok {
+					p.unit += pkt.Work
+					p.total += pkt.Work
+					for _, s := range pkt.Jobs {
+						p.jobs = append(p.jobs, s)
+						p.total += s
+					}
+					continue
+				}
+				if p.senderDead(pkt.Dir, t) {
+					p.fp.ObservePurge(t, pktPayload(pkt))
+					continue
+				}
+				p.stall = append(p.stall, pkt)
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+}
+
+// drainDead consumes a crashed processor's arrivals: crash-recovery
+// transfers keep travelling until a surviving processor is found;
+// everything else is purged.
+func (p *proc) drainDead(t int64) {
+	for _, ch := range []chan *sim.Packet{p.cwIn, p.ccwIn} {
+		for {
+			select {
+			case pkt := <-ch:
+				if _, ok := pkt.Meta.(*sim.Rehome); ok {
+					p.rehome[linkSlot(pkt.Dir)] = append(p.rehome[linkSlot(pkt.Dir)], pkt)
+					continue
+				}
+				p.fp.ObservePurge(t, pktPayload(pkt))
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+}
+
+// crashNow executes the crash-stop at the start of step t: the pool and
+// any unsettled retransmit payload (sim.Salvager) re-home toward both
+// neighbors as Rehome transfers, split exactly as the sequential engine
+// splits them (sim.SplitRehome); deliveries buffered during a stall die
+// with the processor.
+func (p *proc) crashNow(t int64) {
+	p.dead = true
+	unit, rem := p.unit, p.remaining
+	jobs := append([]int64(nil), p.jobs...)
+	if s, ok := p.node.(sim.Salvager); ok {
+		su, sj := s.SalvageOutstanding()
+		unit += su
+		jobs = append(jobs, sj...)
+	}
+	p.unit, p.jobs, p.remaining, p.total = 0, nil, 0, 0
+	cwU, ccwU, cwJ, ccwJ := sim.SplitRehome(unit, rem, jobs)
+	var moved int64
+	if cwU > 0 || len(cwJ) > 0 {
+		pk := &sim.Packet{Dir: ring.Clockwise, Work: cwU, Jobs: cwJ, Meta: &sim.Rehome{From: p.index}}
+		moved += pktPayload(pk)
+		p.rehome[0] = append(p.rehome[0], pk)
+	}
+	if ccwU > 0 || len(ccwJ) > 0 {
+		pk := &sim.Packet{Dir: ring.CounterClockwise, Work: ccwU, Jobs: ccwJ, Meta: &sim.Rehome{From: p.index}}
+		moved += pktPayload(pk)
+		p.rehome[1] = append(p.rehome[1], pk)
+	}
+	p.fp.ObserveRehome(t, moved)
+	for _, pkt := range p.stall {
+		p.fp.ObservePurge(t, pktPayload(pkt))
+	}
+	p.stall = nil
 }
 
 // pktPayload mirrors sim's unexported Packet.payload.
@@ -160,16 +347,93 @@ func pktPayload(pkt *sim.Packet) int64 {
 // pktJobs mirrors sim's unexported Packet.jobCount.
 func pktJobs(pkt *sim.Packet) int64 { return pkt.Work + int64(len(pkt.Jobs)) }
 
-// flush pushes the buffered sends into the neighbor channels (phase 2).
-func (p *proc) flush() {
-	for _, pkt := range p.outCw {
-		p.cwOut <- pkt
+// linkSlot maps a direction onto its slot within a processor's pair of
+// outbound links (0 = clockwise, 1 = counter-clockwise), matching
+// internal/sim's sequence-number indexing.
+func linkSlot(d ring.Direction) int {
+	if d == ring.Clockwise {
+		return 0
 	}
-	for _, pkt := range p.outCcw {
-		p.ccwOut <- pkt
+	return 1
+}
+
+// clonePkt deep-copies a packet for fault-injected duplication (the Meta
+// payload is shared; the robust protocol's envelopes are immutable after
+// send).
+func clonePkt(pkt *sim.Packet) *sim.Packet {
+	q := &sim.Packet{Dir: pkt.Dir, Work: pkt.Work, Meta: pkt.Meta}
+	if pkt.Jobs != nil {
+		q.Jobs = append([]int64(nil), pkt.Jobs...)
+	}
+	return q
+}
+
+// flush pushes the buffered sends into the neighbor channels (phase 2).
+// Under fault injection every algorithm packet consumes its link's next
+// transmission sequence number and receives the plane's verdict, exactly
+// as the sequential engine's flush does; per-link delivery order is
+// regular sends, then crash-recovery transfers, then released delayed
+// packets — the same order internal/sim delivers them in. The push count
+// is checked against the channel capacity first: an overflow fails the
+// run with processor/step/link context instead of blocking the barrier.
+func (p *proc) flush(t int64) error {
+	if p.fp == nil {
+		for _, pkt := range p.outCw {
+			p.cwOut <- pkt
+		}
+		for _, pkt := range p.outCcw {
+			p.ccwOut <- pkt
+		}
+		p.outCw = p.outCw[:0]
+		p.outCcw = p.outCcw[:0]
+		return nil
+	}
+	for slot, out := range [2][]*sim.Packet{p.outCw, p.outCcw} {
+		dir := ring.Clockwise
+		ch := p.cwOut
+		if slot == 1 {
+			dir = ring.CounterClockwise
+			ch = p.ccwOut
+		}
+		push := make([]*sim.Packet, 0, len(out))
+		for _, pkt := range out {
+			seq := p.linkSeq[slot]
+			p.linkSeq[slot]++
+			drop, dup, delay := p.fp.SendVerdict(p.index, dir, seq, pktPayload(pkt))
+			if drop {
+				continue
+			}
+			copies := []*sim.Packet{pkt}
+			if dup {
+				copies = append(copies, clonePkt(pkt))
+			}
+			if delay > 0 {
+				if p.delayed[slot] == nil {
+					p.delayed[slot] = make(map[int64][]*sim.Packet)
+				}
+				rel := t + delay // flushed at t+delay, delivered at t+delay+1
+				p.delayed[slot][rel] = append(p.delayed[slot][rel], copies...)
+			} else {
+				push = append(push, copies...)
+			}
+		}
+		push = append(push, p.rehome[slot]...)
+		p.rehome[slot] = p.rehome[slot][:0]
+		if late, ok := p.delayed[slot][t]; ok {
+			push = append(push, late...)
+			delete(p.delayed[slot], t)
+		}
+		if len(push) > chanCap {
+			return fmt.Errorf("dist: processor %d overflows its %s link at t=%d: %d packets exceed the channel capacity of %d",
+				p.index, dir, t, len(push), chanCap)
+		}
+		for _, pkt := range push {
+			ch <- pkt
+		}
 	}
 	p.outCw = p.outCw[:0]
 	p.outCcw = p.outCcw[:0]
+	return nil
 }
 
 // distCtx implements sim.Ctx on top of a proc.
@@ -218,15 +482,17 @@ func (c *distCtx) Send(pkt *sim.Packet) {
 	// A send volume beyond the link channel's buffer would deadlock the
 	// flush phase (both neighbors blocked pushing). No realistic
 	// algorithm sends hundreds of packets per link per step, so treat it
-	// as a programming error rather than sizing channels dynamically.
+	// as a programming error and fail fast with full context.
 	if pkt.Dir == ring.Clockwise {
 		if len(c.p.outCw) >= chanCap {
-			panic("dist: more than chanCap packets sent on one link in one step")
+			panic(fmt.Sprintf("dist: processor %d sent more than %d packets on its cw link in step %d",
+				c.p.index, chanCap, c.now))
 		}
 		c.p.outCw = append(c.p.outCw, pkt)
 	} else {
 		if len(c.p.outCcw) >= chanCap {
-			panic("dist: more than chanCap packets sent on one link in one step")
+			panic(fmt.Sprintf("dist: processor %d sent more than %d packets on its ccw link in step %d",
+				c.p.index, chanCap, c.now))
 		}
 		c.p.outCcw = append(c.p.outCcw, pkt)
 	}

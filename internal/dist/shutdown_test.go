@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"ringsched/internal/instance"
+	"ringsched/internal/sim"
+)
+
+// leakCheck asserts the goroutine count returns to its pre-test level —
+// a goleak-style final check that every processor goroutine exited.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.Gosched()
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestRunContextCancelMidStep cancels the coordinator while the ring is
+// mid-computation: the run must stop at the next barrier, return the
+// context's error, and leak no processor goroutines.
+func TestRunContextCancelMidStep(t *testing.T) {
+	defer leakCheck(t)()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var res Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = RunContext(ctx, instance.NewUnit([]int64{500, 0, 0, 0}), spinAlg{}, Options{})
+	}()
+	time.Sleep(5 * time.Millisecond) // let the ring get a few steps in
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunContext did not return after cancel")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Steps == 0 {
+		t.Error("partial result missing step count")
+	}
+}
+
+// TestRunContextPreCanceled: an already-canceled context stops the run at
+// the first barrier without deadlock.
+func TestRunContextPreCanceled(t *testing.T) {
+	defer leakCheck(t)()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, instance.NewUnit([]int64{10, 0}), spinAlg{}, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestNoLeakOnNormalExit: a quiescing run cleans up all goroutines.
+func TestNoLeakOnNormalExit(t *testing.T) {
+	defer leakCheck(t)()
+	if _, err := Run(instance.NewUnit([]int64{40, 0, 0, 7}), spinlessAlg{}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoLeakOnFailure: a failing run (processor panic) also cleans up.
+func TestNoLeakOnFailure(t *testing.T) {
+	defer leakCheck(t)()
+	if _, err := Run(instance.NewUnit([]int64{1000, 0}), floodAlg{}, Options{}); err == nil {
+		t.Fatal("flood unexpectedly succeeded")
+	}
+}
+
+// TestNoLeakOnMaxSteps: a non-quiescing run stops at MaxSteps and cleans up.
+func TestNoLeakOnMaxSteps(t *testing.T) {
+	defer leakCheck(t)()
+	_, err := Run(instance.NewUnit([]int64{3, 0, 0}), spinAlg{}, Options{MaxSteps: 200})
+	if err == nil {
+		t.Fatal("spin unexpectedly quiesced")
+	}
+}
+
+// spinlessAlg processes everything locally (quiesces quickly).
+type spinlessAlg struct{}
+
+func (spinlessAlg) Name() string { return "spinless" }
+func (spinlessAlg) NewNode(local sim.LocalInfo) sim.Node {
+	return spinlessNode{local}
+}
+
+type spinlessNode struct{ local sim.LocalInfo }
+
+func (n spinlessNode) Start(ctx sim.Ctx) {
+	ctx.Deposit(n.local.Unit)
+	for _, s := range n.local.Sized {
+		ctx.DepositJob(s)
+	}
+}
+func (n spinlessNode) Receive(ctx sim.Ctx, p *sim.Packet) { ctx.Deposit(p.Work) }
+func (n spinlessNode) Tick(ctx sim.Ctx)                   {}

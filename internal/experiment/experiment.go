@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"ringsched/internal/bucket"
+	"ringsched/internal/fault"
 	"ringsched/internal/metrics"
 	"ringsched/internal/opt"
 	"ringsched/internal/sim"
@@ -40,6 +42,14 @@ type Run struct {
 	Messages int64
 	// Telemetry is the run's observability summary (Options.Metrics).
 	Telemetry *Telemetry
+	// Faults is the fault-injection accounting when the suite ran under
+	// Options.Faults (nil otherwise).
+	Faults *metrics.FaultReport
+	// Err records a per-run failure — most importantly MaxSteps
+	// exhaustion, which would otherwise be indistinguishable from a slow
+	// run. An errored run carries no makespan or factor, the rest of the
+	// suite still completes, and callers (cmd/ringexp) exit non-zero.
+	Err string
 }
 
 // Telemetry is the per-run slice of the metrics.Summary the suite keeps:
@@ -84,6 +94,8 @@ type SuiteInfo struct {
 	Metrics bool
 	// TraceExport reports whether per-run JSONL traces were written.
 	TraceExport bool
+	// Faults is the fault-injection spec the suite ran under ("" = clean).
+	Faults string
 }
 
 // Report is a full suite execution.
@@ -126,6 +138,14 @@ type Options struct {
 	// the worker count — cases land in input order, and each run's trace
 	// is buffered and flushed whole.
 	Workers int
+	// Faults, when non-empty, is a "seed:spec" fault specification (see
+	// internal/fault.ParseSpec): every run executes under a freshly bound
+	// fault plane with the algorithm wrapped in the robust migration
+	// protocol, and Run.Faults carries the injection/recovery counters.
+	// Runs whose schedule loses or duplicates work, or whose plane cannot
+	// bind (e.g. more crash-stops than the case's ring tolerates), are
+	// recorded as per-run errors.
+	Faults string
 	// SuiteDeadline, when positive, bounds the solver time of the whole
 	// suite: the remaining budget is split fairly across the remaining
 	// cases at the moment each is claimed (scaled by the worker count,
@@ -195,6 +215,14 @@ func RunSuiteContext(ctx context.Context, cases []workload.Case, o Options) (Rep
 		specs[name] = spec
 	}
 
+	if o.Faults != "" {
+		// Fail on malformed specs before any case runs; per-case binding
+		// (crash placement against each ring size) happens in runCase.
+		if _, err := fault.ParseSpec(o.Faults); err != nil {
+			return Report{}, fmt.Errorf("experiment: %w", err)
+		}
+	}
+
 	rep := Report{
 		Algorithms: o.algorithms(),
 		Suite: SuiteInfo{
@@ -202,6 +230,7 @@ func RunSuiteContext(ctx context.Context, cases []workload.Case, o Options) (Rep
 			SolverMaxArcs:  o.optLimits().MaxArcs,
 			Metrics:        o.Metrics || o.TraceOut != nil,
 			TraceExport:    o.TraceOut != nil,
+			Faults:         o.Faults,
 		},
 	}
 
@@ -332,11 +361,50 @@ func runCase(c workload.Case, algorithms []string, specs map[string]bucket.Spec,
 			rm = metrics.New(metrics.Opts{})
 			simOpts.Collector = rm
 		}
-		res, err := sim.Run(c.In, specs[name], simOpts)
+		alg := sim.Algorithm(specs[name])
+		var pl *fault.Plane
+		if o.Faults != "" {
+			var err error
+			pl, err = fault.ParsePlane(o.Faults, c.In.M, 0)
+			if err != nil {
+				// Binding is per-case (crash budgets scale with m), so a
+				// spec a small ring cannot host errs that case only.
+				cr.Runs[name] = Run{Err: fmt.Sprintf("fault plane: %v", err)}
+				continue
+			}
+			alg = fault.Robust(alg, pl, fault.Protocol{})
+			simOpts.Faults = pl
+		}
+		res, err := sim.Run(c.In, alg, simOpts)
 		if err != nil {
+			if errors.Is(err, sim.ErrNotQuiescent) {
+				// MaxSteps exhaustion is a result, not a suite failure:
+				// record it so the report can show which case/algorithm
+				// failed to quiesce and the caller can exit non-zero.
+				cr.Runs[name] = Run{Err: err.Error()}
+				continue
+			}
 			return nil, fmt.Errorf("case %s, algorithm %s: %w", c.ID, name, err)
 		}
 		r := Run{Makespan: res.Makespan, JobHops: res.JobHops, Messages: res.Messages}
+		if pl != nil {
+			var total int64
+			for _, p := range res.Processed {
+				total += p
+			}
+			if total != c.In.TotalWork() {
+				cr.Runs[name] = Run{Err: fmt.Sprintf("fault: processed %d of %d work units", total, c.In.TotalWork())}
+				continue
+			}
+			fr := pl.Report()
+			r.Faults = &fr
+			if rm != nil {
+				rm.SetFaults(fr)
+			}
+		}
+		// A faulty execution is still a feasible schedule of the clean
+		// instance (survivors run at unit speed, transit is real time), so
+		// its makespan upper-bounds OPT either way.
 		if best == 0 || res.Makespan < best {
 			best = res.Makespan
 		}
@@ -366,6 +434,9 @@ func runCase(c workload.Case, algorithms []string, specs map[string]bucket.Spec,
 	}
 	cr.Opt = opt.Uncapacitated(c.In, lim)
 	for name, r := range cr.Runs {
+		if r.Err != "" {
+			continue
+		}
 		if cr.Opt.Length > 0 {
 			r.Factor = float64(r.Makespan) / float64(cr.Opt.Length)
 		} else {
@@ -379,6 +450,10 @@ func runCase(c workload.Case, algorithms []string, specs map[string]bucket.Spec,
 func summarizeRuns(algs []string, runs map[string]Run) string {
 	parts := make([]string, 0, len(algs))
 	for _, a := range algs {
+		if runs[a].Err != "" {
+			parts = append(parts, fmt.Sprintf("%s=ERR", a))
+			continue
+		}
 		parts = append(parts, fmt.Sprintf("%s=%.2f", a, runs[a].Factor))
 	}
 	return strings.Join(parts, " ")
@@ -392,11 +467,32 @@ func (r Report) Factors(alg string, exactOnly bool) []float64 {
 		if exactOnly && !c.Opt.Exact {
 			continue
 		}
-		if run, ok := c.Runs[alg]; ok {
+		if run, ok := c.Runs[alg]; ok && run.Err == "" {
 			xs = append(xs, run.Factor)
 		}
 	}
 	return xs
+}
+
+// RunErrors lists every errored run as "case/algorithm: message", sorted
+// by case order then algorithm name. A non-empty result means some run hit
+// its step budget without quiescing (or lost work under fault injection);
+// cmd/ringexp uses it to fail the invocation.
+func (r Report) RunErrors() []string {
+	var out []string
+	for _, c := range r.Cases {
+		names := make([]string, 0, len(c.Runs))
+		for name := range c.Runs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if e := c.Runs[name].Err; e != "" {
+				out = append(out, fmt.Sprintf("%s/%s: %s", c.ID, name, e))
+			}
+		}
+	}
+	return out
 }
 
 // Worst returns the worst factor for alg and the case that produced it.
@@ -406,7 +502,7 @@ func (r Report) Worst(alg string, exactOnly bool) (float64, string) {
 		if exactOnly && !c.Opt.Exact {
 			continue
 		}
-		if run, ok := c.Runs[alg]; ok && run.Factor > worst {
+		if run, ok := c.Runs[alg]; ok && run.Err == "" && run.Factor > worst {
 			worst, id = run.Factor, c.ID
 		}
 	}
@@ -573,9 +669,19 @@ func (r Report) Markdown() string {
 		}
 		fmt.Fprintf(&b, "| %s | %s | %d | %d | %d | %s |", c.ID, c.Group, c.M, c.Work, c.Opt.Length, exact)
 		for _, alg := range r.Algorithms {
+			if c.Runs[alg].Err != "" {
+				fmt.Fprintf(&b, " ERR |")
+				continue
+			}
 			fmt.Fprintf(&b, " %.2f |", c.Runs[alg].Factor)
 		}
 		b.WriteByte('\n')
+	}
+	if errs := r.RunErrors(); len(errs) > 0 {
+		fmt.Fprintf(&b, "\n## Errored runs\n\n")
+		for _, e := range errs {
+			fmt.Fprintf(&b, "- %s\n", e)
+		}
 	}
 	return b.String()
 }
@@ -595,11 +701,13 @@ func (r Report) JSON() ([]byte, error) {
 		Mean      float64 `json:"mean"`
 	}
 	type runOut struct {
-		Makespan  int64      `json:"makespan"`
-		Factor    float64    `json:"factor"`
-		JobHops   int64      `json:"jobHops"`
-		Messages  int64      `json:"messages"`
-		Telemetry *Telemetry `json:"telemetry,omitempty"`
+		Makespan  int64                `json:"makespan"`
+		Factor    float64              `json:"factor"`
+		JobHops   int64                `json:"jobHops"`
+		Messages  int64                `json:"messages"`
+		Telemetry *Telemetry           `json:"telemetry,omitempty"`
+		Faults    *metrics.FaultReport `json:"faults,omitempty"`
+		Err       string               `json:"err,omitempty"`
 	}
 	type caseOut struct {
 		ID      string             `json:"id"`
@@ -616,6 +724,7 @@ func (r Report) JSON() ([]byte, error) {
 		SolverMaxArcs         int     `json:"solverMaxArcs"`
 		Metrics               bool    `json:"metrics"`
 		TraceExport           bool    `json:"traceExport"`
+		Faults                string  `json:"faults,omitempty"`
 	}
 	type solverOut struct {
 		DeadlineHits int `json:"deadlineHits"`
@@ -639,6 +748,7 @@ func (r Report) JSON() ([]byte, error) {
 			SolverMaxArcs:         r.Suite.SolverMaxArcs,
 			Metrics:               r.Suite.Metrics,
 			TraceExport:           r.Suite.TraceExport,
+			Faults:                r.Suite.Faults,
 		},
 		Solver: solverOut{
 			DeadlineHits: r.DeadlineHits,
@@ -664,9 +774,14 @@ func (r Report) JSON() ([]byte, error) {
 			Opt: c.Opt.Length, Exact: c.Opt.Exact,
 			Factors: map[string]float64{}, Runs: map[string]runOut{}}
 		for alg, run := range c.Runs {
+			if run.Err != "" {
+				co.Runs[alg] = runOut{Err: run.Err}
+				continue
+			}
 			co.Factors[alg] = run.Factor
 			co.Runs[alg] = runOut{Makespan: run.Makespan, Factor: run.Factor,
-				JobHops: run.JobHops, Messages: run.Messages, Telemetry: run.Telemetry}
+				JobHops: run.JobHops, Messages: run.Messages, Telemetry: run.Telemetry,
+				Faults: run.Faults}
 		}
 		out.Cases = append(out.Cases, co)
 	}

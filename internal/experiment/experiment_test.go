@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"ringsched/internal/instance"
 	"ringsched/internal/opt"
 	"ringsched/internal/workload"
 )
@@ -214,5 +215,92 @@ func TestCapStudy(t *testing.T) {
 	table := RenderCapStudy(cases)
 	if !strings.Contains(table, "cap-pile-240") || !strings.Contains(table, "2L+2 holds") {
 		t.Errorf("table malformed:\n%s", table)
+	}
+}
+
+func TestRunSuiteUnderFaults(t *testing.T) {
+	cases := smallSuite(t)[:2]
+	rep, err := RunSuite(cases, Options{
+		Algorithms: []string{"A1", "C1"},
+		Faults:     "11:loss=0.1,dup=0.05,crashes=2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := rep.RunErrors(); len(errs) != 0 {
+		t.Fatalf("unexpected run errors: %v", errs)
+	}
+	if rep.Suite.Faults == "" {
+		t.Error("SuiteInfo.Faults not recorded")
+	}
+	for _, cr := range rep.Cases {
+		for alg, run := range cr.Runs {
+			if run.Faults == nil {
+				t.Fatalf("case %s alg %s: no fault report", cr.ID, alg)
+			}
+			if run.Faults.Crashes != 2 {
+				t.Errorf("case %s alg %s: crashes = %d, want 2", cr.ID, alg, run.Faults.Crashes)
+			}
+			if run.Factor < 1.0-1e-9 {
+				t.Errorf("case %s alg %s: faulty factor %.3f < 1", cr.ID, alg, run.Factor)
+			}
+		}
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"faults"`, `"crashes": 2`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report JSON missing %s", want)
+		}
+	}
+}
+
+func TestRunSuiteRejectsBadFaultSpec(t *testing.T) {
+	if _, err := RunSuite(nil, Options{Faults: "1:loss=0.9"}); err == nil {
+		t.Error("out-of-range loss accepted")
+	}
+	if _, err := RunSuite(nil, Options{Faults: "nonsense"}); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}
+
+func TestRunSuiteFaultBindErrorPerCase(t *testing.T) {
+	// crashes=2 needs m >= 8 (crash budget m/4); a 4-ring case cannot
+	// bind the plane, which must surface as a per-run error — reported,
+	// rendered, and countable — without aborting the suite.
+	cases := []workload.Case{{
+		ID:    "tiny-m4",
+		Group: "structured",
+		In:    instance.NewUnit([]int64{20, 0, 0, 0}),
+	}}
+	rep, err := RunSuite(cases, Options{
+		Algorithms: []string{"A1"},
+		Faults:     "11:crashes=2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := rep.Cases[0].Runs["A1"]
+	if run.Err == "" {
+		t.Fatal("bind failure not recorded as run error")
+	}
+	errs := rep.RunErrors()
+	if len(errs) != 1 || !strings.Contains(errs[0], "tiny-m4/A1") {
+		t.Errorf("RunErrors = %v", errs)
+	}
+	if md := rep.Markdown(); !strings.Contains(md, " ERR |") || !strings.Contains(md, "## Errored runs") {
+		t.Errorf("markdown does not surface the error:\n%s", md)
+	}
+	if len(rep.Factors("A1", false)) != 0 {
+		t.Error("errored run leaked into the factor sample")
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"err"`) {
+		t.Error("report JSON missing err field")
 	}
 }

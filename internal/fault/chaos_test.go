@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ringsched/internal/bucket"
+	"ringsched/internal/dist"
+	"ringsched/internal/instance"
+	"ringsched/internal/sim"
+)
+
+// ChaosSeeds are the fixed seeds the CI chaos job sweeps (kept in sync
+// with .github/workflows/ci.yml). Each seeds both the fault schedule and
+// the workload generator.
+var ChaosSeeds = []int64{101, 202, 303}
+
+// chaosSpecs are the fault mixes the sweep crosses with every seed; %d
+// receives the seed. Loss stays at or under 0.2 and crash counts under
+// m/4, the regime the acceptance invariants are stated for.
+var chaosSpecs = []string{
+	"%d:loss=0.2",
+	"%d:loss=0.1,dup=0.1,delay=0.1x2",
+	"%d:loss=0.15,dup=0.05,stalls=2x4,crashes=2",
+	"%d:crashes=3,stalls=1x6",
+}
+
+// TestChaosSimDistEquivalence is the chaos harness of the acceptance
+// criteria: under identical seeded fault schedules, the sequential
+// engine and the goroutine-per-processor runtime must agree on the
+// entire observable outcome — per-processor processed work, makespan,
+// step count, job-hops, message count, and the plane's fault/recovery
+// counters — while every unit of work is processed exactly once and the
+// makespan degradation stays within the additive bound.
+func TestChaosSimDistEquivalence(t *testing.T) {
+	for _, seed := range ChaosSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			m := 12 + rng.Intn(9) // 12..20
+			works := make([]int64, m)
+			for i := range works {
+				if rng.Intn(2) == 0 {
+					works[i] = int64(rng.Intn(60))
+				}
+			}
+			works[rng.Intn(m)] += 100 // ensure a loaded processor
+			in := instance.NewUnit(works)
+
+			clean, err := sim.Run(in, bucket.A1(), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, specFmt := range chaosSpecs {
+				spec := fmt.Sprintf(specFmt, seed)
+				// One plane per execution: the received-oracle and the
+				// counters are per-run state. Verdicts are pure functions
+				// of (seed, link, seq), so both planes schedule the same
+				// faults.
+				simPl, err := ParsePlane(spec, m, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				distPl, err := ParsePlane(spec, m, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				simRes, err := sim.Run(in, Robust(bucket.A1(), simPl, Protocol{}),
+					sim.Options{Record: true, Faults: simPl})
+				if err != nil {
+					t.Fatalf("%s: sim did not quiesce: %v", spec, err)
+				}
+				distRes, err := dist.Run(in, Robust(bucket.A1(), distPl, Protocol{}),
+					dist.Options{Faults: distPl})
+				if err != nil {
+					t.Fatalf("%s: dist did not quiesce: %v", spec, err)
+				}
+
+				// Hard invariants: no unit lost, none double-processed, no
+				// processing on dead or stalled processors.
+				if err := Verify(in, simRes.Trace, simPl); err != nil {
+					t.Errorf("%s: %v", spec, err)
+				}
+				var distTotal int64
+				for _, p := range distRes.Processed {
+					distTotal += p
+				}
+				if distTotal != in.TotalWork() {
+					t.Errorf("%s: dist processed %d of %d", spec, distTotal, in.TotalWork())
+				}
+
+				// Engine agreement on the full observable outcome.
+				for i := range simRes.Processed {
+					if simRes.Processed[i] != distRes.Processed[i] {
+						t.Errorf("%s: processor %d processed %d (sim) vs %d (dist)",
+							spec, i, simRes.Processed[i], distRes.Processed[i])
+					}
+				}
+				if simRes.Makespan != distRes.Makespan {
+					t.Errorf("%s: makespan %d (sim) vs %d (dist)", spec, simRes.Makespan, distRes.Makespan)
+				}
+				if simRes.Steps != distRes.Steps {
+					t.Errorf("%s: steps %d (sim) vs %d (dist)", spec, simRes.Steps, distRes.Steps)
+				}
+				if simRes.JobHops != distRes.JobHops {
+					t.Errorf("%s: jobHops %d (sim) vs %d (dist)", spec, simRes.JobHops, distRes.JobHops)
+				}
+				if simRes.Messages != distRes.Messages {
+					t.Errorf("%s: messages %d (sim) vs %d (dist)", spec, simRes.Messages, distRes.Messages)
+				}
+				if sr, dr := simPl.Report(), distPl.Report(); sr != dr {
+					t.Errorf("%s: fault reports diverge:\nsim:  %+v\ndist: %+v", spec, sr, dr)
+				}
+
+				// Bounded degradation: the faulty makespan exceeds the
+				// clean one by at most the additive fault-mass term.
+				if bound := AdditiveBound(simPl.Report(), m, Protocol{}); simRes.Makespan > clean.Makespan+bound {
+					t.Errorf("%s: makespan %d exceeds clean %d + additive bound %d",
+						spec, simRes.Makespan, clean.Makespan, bound)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosSizedJobs repeats the cross-check with sized jobs and the
+// bidirectional bucket variant, where re-homing must deal jobs (not just
+// unit work) to both neighbors.
+func TestChaosSizedJobs(t *testing.T) {
+	sizes := make([][]int64, 12)
+	sizes[2] = []int64{9, 4, 4, 2, 1, 1}
+	sizes[7] = []int64{5, 5, 3}
+	sizes[9] = []int64{2, 1}
+	in := instance.NewSized(sizes)
+	for _, spec := range []string{"404:loss=0.2,dup=0.1,crashes=2", "505:loss=0.1,delay=0.15x3,stall=p2@t2x5,crash=p7@t9"} {
+		simPl, err := ParsePlane(spec, in.M, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		distPl, err := ParsePlane(spec, in.M, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simRes, err := sim.Run(in, Robust(bucket.A2(), simPl, Protocol{}),
+			sim.Options{Record: true, Faults: simPl})
+		if err != nil {
+			t.Fatalf("%s: sim: %v", spec, err)
+		}
+		distRes, err := dist.Run(in, Robust(bucket.A2(), distPl, Protocol{}),
+			dist.Options{Faults: distPl})
+		if err != nil {
+			t.Fatalf("%s: dist: %v", spec, err)
+		}
+		if err := Verify(in, simRes.Trace, simPl); err != nil {
+			t.Errorf("%s: %v", spec, err)
+		}
+		for i := range simRes.Processed {
+			if simRes.Processed[i] != distRes.Processed[i] {
+				t.Errorf("%s: processor %d processed %d (sim) vs %d (dist)",
+					spec, i, simRes.Processed[i], distRes.Processed[i])
+			}
+		}
+		if simRes.Makespan != distRes.Makespan || simRes.Steps != distRes.Steps {
+			t.Errorf("%s: sim (makespan %d, steps %d) vs dist (makespan %d, steps %d)",
+				spec, simRes.Makespan, simRes.Steps, distRes.Makespan, distRes.Steps)
+		}
+	}
+}

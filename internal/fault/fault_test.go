@@ -1,0 +1,289 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"ringsched/internal/bucket"
+	"ringsched/internal/instance"
+	"ringsched/internal/ring"
+	"ringsched/internal/sim"
+)
+
+func TestParseSpec(t *testing.T) {
+	sp, err := ParseSpec("42:loss=0.1,dup=0.05,delay=0.2x3,stall=p4@t20x5,crash=p7@t33,stalls=2x4,crashes=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Seed != 42 || sp.Loss != 0.1 || sp.Dup != 0.05 {
+		t.Errorf("seed/loss/dup = %d/%v/%v", sp.Seed, sp.Loss, sp.Dup)
+	}
+	if sp.DelayProb != 0.2 || sp.DelaySteps != 3 {
+		t.Errorf("delay = %vx%d", sp.DelayProb, sp.DelaySteps)
+	}
+	if len(sp.Stalls) != 1 || sp.Stalls[0] != (stall{proc: 4, from: 20, dur: 5}) {
+		t.Errorf("stalls = %+v", sp.Stalls)
+	}
+	if len(sp.Crashes) != 1 || sp.Crashes[0].proc != 7 || sp.Crashes[0].from != 33 {
+		t.Errorf("crashes = %+v", sp.Crashes)
+	}
+	if sp.RandStalls != 2 || sp.RandStallK != 4 || sp.RandCrashes != 1 {
+		t.Errorf("random placements = %d x%d, %d", sp.RandStalls, sp.RandStallK, sp.RandCrashes)
+	}
+
+	if _, err := ParseSpec("7:"); err != nil {
+		t.Errorf("all-quiet spec rejected: %v", err)
+	}
+
+	bad := []struct{ spec, want string }{
+		{"no-colon", "seed:item"},
+		{"x:loss=0.1", "bad seed"},
+		{"1:loss=0.9", "outside [0, 0.5]"},
+		{"1:loss=-0.1", "outside [0, 0.5]"},
+		{"1:dup=nan", "outside [0, 0.5]"},
+		{"1:dup=zzz", "bad probability"},
+		{"1:delay=0.1", "PROBxSTEPS"},
+		{"1:delay=0.1x0", "step count"},
+		{"1:stall=p1@t5", "pPROC@tSTEPxDUR"},
+		{"1:stall=p1@t0x5", "want >= 1"},
+		{"1:crash=p1@t0", "want >= 1"},
+		{"1:crash=1@t5", "pPROC@tSTEP"},
+		{"1:crashes=-1", "bad count"},
+		{"1:stalls=2", "NxSTEPS"},
+		{"1:bogus=1", "unknown spec item"},
+	}
+	for _, tc := range bad {
+		_, err := ParseSpec(tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseSpec(%q) = %v, want error containing %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+func TestBindValidation(t *testing.T) {
+	if _, err := mustSpec(t, "1:crashes=3").Bind(8, 100); err == nil {
+		t.Error("3 crashes on a ring of 8 (m/4 = 2) accepted")
+	}
+	if _, err := mustSpec(t, "1:crash=p9@t5").Bind(8, 100); err == nil {
+		t.Error("crash at nonexistent processor accepted")
+	}
+	if _, err := mustSpec(t, "1:crash=p3@t5,crash=p3@t9").Bind(16, 100); err == nil {
+		t.Error("double crash of one processor accepted")
+	}
+	if _, err := mustSpec(t, "1:stall=p9@t5x2").Bind(8, 100); err == nil {
+		t.Error("stall at nonexistent processor accepted")
+	}
+	if _, err := mustSpec(t, "1:").Bind(1, 100); err == nil {
+		t.Error("single-processor ring accepted")
+	}
+	pl, err := mustSpec(t, "1:crashes=2,stalls=3x4").Bind(16, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pl.Crashed()); got != 2 {
+		t.Errorf("Crashed() = %d procs, want 2", got)
+	}
+	if got := pl.StallStepsTotal(); got != 12 {
+		t.Errorf("StallStepsTotal() = %d, want 12", got)
+	}
+}
+
+func mustSpec(t *testing.T, s string) *Spec {
+	t.Helper()
+	sp, err := ParseSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestVerdictDeterminism: verdicts are pure functions of (seed, link,
+// seq) — independent of query order and identical across Plane instances
+// bound from the same spec (the property the chaos harness needs).
+func TestVerdictDeterminism(t *testing.T) {
+	bind := func() *Plane {
+		pl, err := ParsePlane("99:loss=0.2,dup=0.1,delay=0.2x2", 8, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl
+	}
+	a, b := bind(), bind()
+	type verdict struct {
+		drop, dup bool
+		delay     int64
+	}
+	var fwd []verdict
+	for seq := int64(0); seq < 200; seq++ {
+		d1, d2, d3 := a.SendVerdict(3, ring.Clockwise, seq, 1)
+		fwd = append(fwd, verdict{d1, d2, d3})
+	}
+	for seq := int64(199); seq >= 0; seq-- { // reversed order on a fresh plane
+		d1, d2, d3 := b.SendVerdict(3, ring.Clockwise, seq, 1)
+		if (verdict{d1, d2, d3}) != fwd[seq] {
+			t.Fatalf("verdict for seq %d differs across planes/orders", seq)
+		}
+	}
+	var drops int
+	for _, v := range fwd {
+		if v.drop {
+			drops++
+		}
+	}
+	if drops == 0 || drops == 200 {
+		t.Errorf("loss=0.2 produced %d/200 drops", drops)
+	}
+	// Different links diverge.
+	same := 0
+	for seq := int64(0); seq < 200; seq++ {
+		d1, d2, d3 := a.SendVerdict(4, ring.Clockwise, seq, 1)
+		if (verdict{d1, d2, d3}) == fwd[seq] {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Error("links (3,cw) and (4,cw) share a verdict stream")
+	}
+}
+
+func TestReceivedOracle(t *testing.T) {
+	pl, err := ParsePlane("1:", 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.WasReceived(0, ring.Clockwise, 0) {
+		t.Error("empty oracle reports a receipt")
+	}
+	pl.MarkReceived(0, ring.Clockwise, 0)
+	if !pl.WasReceived(0, ring.Clockwise, 0) {
+		t.Error("receipt lost")
+	}
+	if pl.WasReceived(0, ring.CounterClockwise, 0) || pl.WasReceived(1, ring.Clockwise, 0) {
+		t.Error("receipt leaked to another link")
+	}
+}
+
+// runFaulty runs alg wrapped in the robust protocol under the given spec
+// and returns the result, the trace, and the plane.
+func runFaulty(t *testing.T, in instance.Instance, alg sim.Algorithm, spec string) (sim.Result, *Plane) {
+	t.Helper()
+	pl, err := ParsePlane(spec, in.M, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(in, Robust(alg, pl, Protocol{}), sim.Options{Record: true, Faults: pl})
+	if err != nil {
+		t.Fatalf("faulty run: %v", err)
+	}
+	if err := Verify(in, res.Trace, pl); err != nil {
+		t.Fatalf("fault.Verify: %v", err)
+	}
+	return res, pl
+}
+
+// TestRobustUnderLoss: the bucket algorithm completes all work under
+// 20% message loss, and the makespan degradation stays within the
+// additive bound.
+func TestRobustUnderLoss(t *testing.T) {
+	in := instance.NewUnit([]int64{40, 0, 0, 0, 8, 0, 0, 0})
+	clean, err := sim.Run(in, bucket.A1(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, pl := runFaulty(t, in, bucket.A1(), "7:loss=0.2")
+	rep := pl.Report()
+	if rep.Drops == 0 {
+		t.Error("loss=0.2 dropped nothing; fault injection inactive?")
+	}
+	if rep.Retries == 0 {
+		t.Error("drops occurred but the protocol never retried")
+	}
+	if bound := AdditiveBound(rep, in.M, Protocol{}); res.Makespan > clean.Makespan+bound {
+		t.Errorf("makespan %d exceeds clean %d + additive bound %d", res.Makespan, clean.Makespan, bound)
+	}
+}
+
+// TestRobustUnderCrash: a processor crash-stops mid-run; its pool
+// re-homes to the surviving neighbors and every unit still gets
+// processed exactly once.
+func TestRobustUnderCrash(t *testing.T) {
+	in := instance.NewUnit([]int64{0, 0, 64, 0, 0, 0, 0, 0})
+	res, pl := runFaulty(t, in, bucket.A1(), "3:crash=p2@t4")
+	rep := pl.Report()
+	if rep.Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1", rep.Crashes)
+	}
+	if rep.RehomedWork == 0 {
+		t.Error("crash of the loaded processor re-homed no work")
+	}
+	if res.Processed[2] >= 64 {
+		t.Errorf("crashed processor processed %d of 64 units", res.Processed[2])
+	}
+}
+
+// TestRobustKitchenSink: loss + duplication + delay + stalls + crashes
+// together, sized jobs, still exactly-once.
+func TestRobustKitchenSink(t *testing.T) {
+	in := instance.NewSized([][]int64{{5, 3, 1, 1}, nil, {2, 2}, nil, {7}, nil, {1, 1, 1}, nil})
+	for _, spec := range []string{
+		"11:loss=0.15,dup=0.1,delay=0.1x2,stalls=2x3,crashes=1",
+		"12:loss=0.2,dup=0.05,crashes=2",
+		"13:loss=0.1,delay=0.2x4,stall=p1@t3x6",
+	} {
+		res, pl := runFaulty(t, in, bucket.A1(), spec)
+		var total int64
+		for _, p := range res.Processed {
+			total += p
+		}
+		if total != in.TotalWork() {
+			t.Errorf("%s: processed %d of %d", spec, total, in.TotalWork())
+		}
+		_ = pl
+	}
+}
+
+// TestFaultFreePathUnchanged: a nil fault plane takes the exact pre-fault
+// code path — results and traces match a run made before the fault plane
+// existed in every observable (the bucket golden tests pin the bytes).
+func TestFaultFreePathUnchanged(t *testing.T) {
+	in := instance.NewUnit([]int64{16, 0, 0, 4})
+	a, err := sim.Run(in, bucket.A1(), sim.Options{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace.Faulty {
+		t.Error("fault-free trace marked Faulty")
+	}
+	if err := a.Trace.Verify(in); err != nil {
+		t.Errorf("strict §2 verification of fault-free run: %v", err)
+	}
+}
+
+// TestVerifyCatchesViolations: the faulty-execution verifier rejects
+// traces that lose work, double-process, or process on dead processors.
+func TestVerifyCatchesViolations(t *testing.T) {
+	in := instance.NewUnit([]int64{2, 0, 0, 0, 0, 0, 0, 0})
+	pl, err := ParsePlane("1:crash=p1@t5", 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &sim.Trace{M: 8, Steps: 10, Faulty: true, Events: []sim.Event{
+		{T: 1, Kind: sim.EvProcess, Proc: 0, Amount: 1},
+	}}
+	if err := Verify(in, tr, pl); err == nil || !strings.Contains(err.Error(), "lost") {
+		t.Errorf("lost work not caught: %v", err)
+	}
+	tr.Events = append(tr.Events,
+		sim.Event{T: 2, Kind: sim.EvProcess, Proc: 0, Amount: 1},
+		sim.Event{T: 3, Kind: sim.EvProcess, Proc: 0, Amount: 1})
+	if err := Verify(in, tr, pl); err == nil || !strings.Contains(err.Error(), "double-processed") {
+		t.Errorf("double-processing not caught: %v", err)
+	}
+	tr.Events = []sim.Event{
+		{T: 1, Kind: sim.EvProcess, Proc: 0, Amount: 1},
+		{T: 6, Kind: sim.EvProcess, Proc: 1, Amount: 1},
+	}
+	if err := Verify(in, tr, pl); err == nil || !strings.Contains(err.Error(), "after crashing") {
+		t.Errorf("post-crash processing not caught: %v", err)
+	}
+}

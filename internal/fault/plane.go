@@ -1,0 +1,491 @@
+// Package fault is the deterministic fault-injection plane for the ring
+// runtimes: seeded per-link message loss, duplication and extra delay,
+// transient processor stalls, and crash-stop failures with neighbor
+// re-homing — plus the robust migration protocol (Robust) that lets the
+// paper's bucket algorithms run unmodified on a faulty substrate, and a
+// verifier (Verify) enforcing the hard invariants of faulty executions.
+//
+// The plane is consulted by both engines through the sim.FaultPlane
+// interface. Every verdict is a pure hash of (seed, link, per-link
+// transmission sequence number), never of wall-clock order, so the
+// sequential engine and the goroutine-per-processor runtime observe the
+// identical fault schedule — the property the chaos harness
+// (chaos_test.go) is built on.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ringsched/internal/metrics"
+	"ringsched/internal/ring"
+	"ringsched/internal/sim"
+)
+
+// stall is a transient outage: proc skips exchange+process+tick for the
+// steps in [from, from+dur).
+type stall struct {
+	proc int
+	from int64
+	dur  int64
+}
+
+// Spec is a parsed fault specification (see ParseSpec for the grammar).
+// Bind resolves it against a concrete ring size into a Plane.
+type Spec struct {
+	Seed int64
+
+	Loss float64 // per-packet loss probability
+	Dup  float64 // per-packet duplication probability
+
+	DelayProb  float64 // per-packet extra-delay probability
+	DelaySteps int64   // extra steps added when delayed
+
+	Stalls      []stall // explicitly placed stalls (stall=pP@tTxK)
+	RandStalls  int     // randomly placed stalls (stalls=NxK)
+	RandStallK  int64   // duration of randomly placed stalls
+	Crashes     []stall // explicitly placed crashes (dur unused)
+	RandCrashes int     // randomly placed crash-stops (crashes=N)
+
+	raw string // original spec string, for reports
+}
+
+// ParseSpec parses a "seed:item,item,..." fault specification:
+//
+//	loss=0.1        lose each packet with probability 0.1
+//	dup=0.05        duplicate each packet with probability 0.05
+//	delay=0.1x3     delay each packet 3 extra steps with probability 0.1
+//	stall=p4@t20x5  processor 4 stalls for 5 steps starting at step 20
+//	stalls=2x5      2 randomly placed 5-step stalls
+//	crash=p7@t33    processor 7 crash-stops at step 33
+//	crashes=2       2 randomly placed crash-stops
+//
+// Random placements (and nothing else) consume the seed's math/rand
+// stream at Bind time; probabilistic verdicts hash the seed directly.
+// An empty item list ("7:") is a valid all-quiet spec.
+func ParseSpec(s string) (*Spec, error) {
+	seedStr, items, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("fault: spec %q: want seed:item,item,...", s)
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(seedStr), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("fault: spec %q: bad seed: %v", s, err)
+	}
+	sp := &Spec{Seed: seed, raw: s}
+	for _, item := range strings.Split(items, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: spec item %q: want key=value", item)
+		}
+		switch key {
+		case "loss":
+			if sp.Loss, err = parseProb(val); err != nil {
+				return nil, fmt.Errorf("fault: loss: %v", err)
+			}
+		case "dup":
+			if sp.Dup, err = parseProb(val); err != nil {
+				return nil, fmt.Errorf("fault: dup: %v", err)
+			}
+		case "delay":
+			p, k, err := parseProbTimes(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: delay: %v", err)
+			}
+			sp.DelayProb, sp.DelaySteps = p, k
+		case "stall":
+			st, err := parseAt(val, true)
+			if err != nil {
+				return nil, fmt.Errorf("fault: stall: %v", err)
+			}
+			sp.Stalls = append(sp.Stalls, st)
+		case "stalls":
+			n, k, err := parseCountTimes(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: stalls: %v", err)
+			}
+			sp.RandStalls, sp.RandStallK = n, k
+		case "crash":
+			st, err := parseAt(val, false)
+			if err != nil {
+				return nil, fmt.Errorf("fault: crash: %v", err)
+			}
+			sp.Crashes = append(sp.Crashes, st)
+		case "crashes":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("fault: crashes: bad count %q", val)
+			}
+			sp.RandCrashes = n
+		default:
+			return nil, fmt.Errorf("fault: unknown spec item %q", key)
+		}
+	}
+	return sp, nil
+}
+
+// parseProb parses a probability in [0, 0.5] — higher rates starve the
+// retry protocol of useful bandwidth and are rejected as misconfigurations.
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad probability %q", s)
+	}
+	if !(p >= 0 && p <= 0.5) { // negated so NaN is rejected too
+		return 0, fmt.Errorf("probability %v outside [0, 0.5]", p)
+	}
+	return p, nil
+}
+
+// parseProbTimes parses "PxK" (probability × steps).
+func parseProbTimes(s string) (float64, int64, error) {
+	ps, ks, ok := strings.Cut(s, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("want PROBxSTEPS, got %q", s)
+	}
+	p, err := parseProb(ps)
+	if err != nil {
+		return 0, 0, err
+	}
+	k, err := strconv.ParseInt(ks, 10, 64)
+	if err != nil || k < 1 {
+		return 0, 0, fmt.Errorf("bad step count %q (want >= 1)", ks)
+	}
+	return p, k, nil
+}
+
+// parseCountTimes parses "NxK" (count × steps).
+func parseCountTimes(s string) (int, int64, error) {
+	ns, ks, ok := strings.Cut(s, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("want NxSTEPS, got %q", s)
+	}
+	n, err := strconv.Atoi(ns)
+	if err != nil || n < 0 {
+		return 0, 0, fmt.Errorf("bad count %q", ns)
+	}
+	k, err := strconv.ParseInt(ks, 10, 64)
+	if err != nil || k < 1 {
+		return 0, 0, fmt.Errorf("bad step count %q (want >= 1)", ks)
+	}
+	return n, k, nil
+}
+
+// parseAt parses "pP@tT" (crash) or "pP@tTxK" (stall, withDur).
+func parseAt(s string, withDur bool) (stall, error) {
+	var st stall
+	ps, rest, ok := strings.Cut(s, "@")
+	if !ok || !strings.HasPrefix(ps, "p") {
+		return st, fmt.Errorf("want pPROC@tSTEP%s, got %q", durSuffix(withDur), s)
+	}
+	proc, err := strconv.Atoi(ps[1:])
+	if err != nil || proc < 0 {
+		return st, fmt.Errorf("bad processor %q", ps)
+	}
+	st.proc = proc
+	ts := rest
+	if withDur {
+		var ks string
+		ts, ks, ok = strings.Cut(rest, "x")
+		if !ok {
+			return st, fmt.Errorf("want pPROC@tSTEPxDUR, got %q", s)
+		}
+		st.dur, err = strconv.ParseInt(ks, 10, 64)
+		if err != nil || st.dur < 1 {
+			return st, fmt.Errorf("bad duration %q (want >= 1)", ks)
+		}
+	}
+	if !strings.HasPrefix(ts, "t") {
+		return st, fmt.Errorf("want pPROC@tSTEP%s, got %q", durSuffix(withDur), s)
+	}
+	st.from, err = strconv.ParseInt(ts[1:], 10, 64)
+	if err != nil || st.from < 1 {
+		return st, fmt.Errorf("bad step %q (want >= 1: step 0 seeds the instance)", ts)
+	}
+	return st, nil
+}
+
+func durSuffix(withDur bool) string {
+	if withDur {
+		return "xDUR"
+	}
+	return ""
+}
+
+// Bind resolves the spec against a ring of m processors into a Plane.
+// horizon bounds the step range random stalls/crashes are placed in (use
+// a rough expected makespan; <= 0 defaults to 4m). At most m/4 crash-stop
+// failures are allowed — beyond that the surviving ring cannot absorb
+// re-homed load and the additive-degradation guarantee is void.
+func (sp *Spec) Bind(m int, horizon int64) (*Plane, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("fault: ring of %d processors cannot absorb faults", m)
+	}
+	if horizon <= 0 {
+		horizon = int64(4 * m)
+	}
+	rng := rand.New(rand.NewSource(sp.Seed))
+	p := &Plane{
+		spec:      sp,
+		m:         m,
+		seed:      uint64(sp.Seed),
+		crashStep: make([]int64, m),
+	}
+	for i := range p.crashStep {
+		p.crashStep[i] = -1
+	}
+
+	stalls := append([]stall(nil), sp.Stalls...)
+	for i := 0; i < sp.RandStalls; i++ {
+		stalls = append(stalls, stall{
+			proc: rng.Intn(m),
+			from: 1 + rng.Int63n(horizon),
+			dur:  sp.RandStallK,
+		})
+	}
+	for _, st := range stalls {
+		if st.proc >= m {
+			return nil, fmt.Errorf("fault: stall at processor %d, ring has %d", st.proc, m)
+		}
+	}
+	p.stalls = stalls
+
+	crashes := append([]stall(nil), sp.Crashes...)
+	perm := rng.Perm(m) // distinct random crash victims
+	for i := 0; i < sp.RandCrashes; i++ {
+		crashes = append(crashes, stall{proc: perm[i%m], from: 1 + rng.Int63n(horizon)})
+	}
+	if len(crashes) > m/4 {
+		return nil, fmt.Errorf("fault: %d crash-stops exceed m/4 = %d (ring of %d)",
+			len(crashes), m/4, m)
+	}
+	for _, c := range crashes {
+		if c.proc >= m {
+			return nil, fmt.Errorf("fault: crash at processor %d, ring has %d", c.proc, m)
+		}
+		if p.crashStep[c.proc] != -1 {
+			return nil, fmt.Errorf("fault: processor %d crashes twice", c.proc)
+		}
+		p.crashStep[c.proc] = c.from
+	}
+	return p, nil
+}
+
+// ParsePlane parses a "seed:spec" string and binds it in one call — the
+// form the CLIs' -faults flag uses.
+func ParsePlane(s string, m int, horizon int64) (*Plane, error) {
+	sp, err := ParseSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Bind(m, horizon)
+}
+
+// recvKey identifies one protocol-level transmission for the
+// received-oracle: (sender, direction, sequence number).
+type recvKey struct {
+	src int
+	dir ring.Direction
+	seq int64
+}
+
+// Plane implements sim.FaultPlane: deterministic seeded fault verdicts
+// plus the counters behind Report. One Plane instance belongs to one
+// execution — the received-oracle and counters are per-run state — so
+// cross-checking engines bind the same Spec twice rather than sharing a
+// Plane. All methods are safe for concurrent use by the dist runtime.
+type Plane struct {
+	spec      *Spec
+	m         int
+	seed      uint64
+	stalls    []stall
+	crashStep []int64
+
+	// received is the protocol's stable-storage oracle: delivery receipts
+	// recorded by receivers (MarkReceived) and consulted by senders
+	// settling transmissions to crashed destinations (WasReceived). It is
+	// what makes crash-time salvage exactly-once-sound.
+	mu       sync.Mutex
+	received map[recvKey]bool
+
+	drops         atomic.Int64
+	droppedWork   atomic.Int64
+	dups          atomic.Int64
+	delays        atomic.Int64
+	delaySteps    atomic.Int64
+	purgedWork    atomic.Int64
+	rehomedWork   atomic.Int64
+	retries       atomic.Int64
+	acks          atomic.Int64
+	reclaimedWork atomic.Int64
+	dupDiscards   atomic.Int64
+}
+
+var _ sim.FaultPlane = (*Plane)(nil)
+
+// splitmix64 is the finalizer of the splitmix64 PRNG — a strong 64-bit
+// mixer used to turn (seed, link, seq) into independent uniform bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// u01 maps the top 53 bits of h to [0, 1).
+func u01(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// linkHash derives the per-transmission hash chain root.
+func (p *Plane) linkHash(from int, dir ring.Direction, seq int64) uint64 {
+	d := uint64(0)
+	if dir == ring.CounterClockwise {
+		d = 1
+	}
+	h := splitmix64(p.seed ^ splitmix64(uint64(from)<<1|d))
+	return splitmix64(h ^ uint64(seq))
+}
+
+// SendVerdict implements sim.FaultPlane. The verdict is a pure function
+// of (seed, from, dir, seq); payload only feeds the fault-mass counters.
+func (p *Plane) SendVerdict(from int, dir ring.Direction, seq, payload int64) (drop, dup bool, delay int64) {
+	h := p.linkHash(from, dir, seq)
+	if u01(h) < p.spec.Loss {
+		p.drops.Add(1)
+		p.droppedWork.Add(payload)
+		return true, false, 0
+	}
+	h = splitmix64(h)
+	if u01(h) < p.spec.Dup {
+		p.dups.Add(1)
+		dup = true
+	}
+	h = splitmix64(h)
+	if u01(h) < p.spec.DelayProb {
+		p.delays.Add(1)
+		p.delaySteps.Add(p.spec.DelaySteps)
+		delay = p.spec.DelaySteps
+	}
+	return false, dup, delay
+}
+
+// Stalled implements sim.FaultPlane. A crashed processor is not
+// "stalled" — the engines handle death separately via CrashStep.
+func (p *Plane) Stalled(proc int, t int64) bool {
+	for _, st := range p.stalls {
+		if st.proc == proc && t >= st.from && t < st.from+st.dur {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashStep implements sim.FaultPlane.
+func (p *Plane) CrashStep(proc int) int64 {
+	if proc < 0 || proc >= len(p.crashStep) {
+		return -1
+	}
+	return p.crashStep[proc]
+}
+
+// Dead reports whether proc has crash-stopped at or before step t.
+func (p *Plane) Dead(proc int, t int64) bool {
+	c := p.CrashStep(proc)
+	return c >= 0 && t >= c
+}
+
+// ObservePurge implements sim.FaultPlane.
+func (p *Plane) ObservePurge(t int64, payload int64) {
+	p.purgedWork.Add(payload)
+}
+
+// ObserveRehome implements sim.FaultPlane.
+func (p *Plane) ObserveRehome(t int64, payload int64) {
+	p.rehomedWork.Add(payload)
+}
+
+// MarkReceived records a delivery receipt for transmission (src, dir,
+// seq): the receiver accepted and deposited that envelope's payload.
+// Receivers call it before acknowledging, so a sender settling against a
+// crashed destination never resurrects payload the receiver already owns.
+func (p *Plane) MarkReceived(src int, dir ring.Direction, seq int64) {
+	p.mu.Lock()
+	if p.received == nil {
+		p.received = make(map[recvKey]bool)
+	}
+	p.received[recvKey{src, dir, seq}] = true
+	p.mu.Unlock()
+}
+
+// WasReceived consults the delivery-receipt oracle (see MarkReceived).
+func (p *Plane) WasReceived(src int, dir ring.Direction, seq int64) bool {
+	p.mu.Lock()
+	ok := p.received[recvKey{src, dir, seq}]
+	p.mu.Unlock()
+	return ok
+}
+
+// ObserveRetry, ObserveAck, ObserveReclaim and ObserveDupDiscard are the
+// robust protocol's counter hooks.
+func (p *Plane) ObserveRetry() { p.retries.Add(1) }
+
+func (p *Plane) ObserveAck() { p.acks.Add(1) }
+
+func (p *Plane) ObserveReclaim(payload int64) { p.reclaimedWork.Add(payload) }
+
+func (p *Plane) ObserveDupDiscard() { p.dupDiscards.Add(1) }
+
+// Crashed returns the processors with a crash-stop scheduled, sorted.
+func (p *Plane) Crashed() []int {
+	var out []int
+	for i, c := range p.crashStep {
+		if c >= 0 {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// StallStepsTotal is the total processor-steps of scheduled stalls.
+func (p *Plane) StallStepsTotal() int64 {
+	var n int64
+	for _, st := range p.stalls {
+		n += st.dur
+	}
+	return n
+}
+
+// Report snapshots the plane's fault and recovery counters.
+func (p *Plane) Report() metrics.FaultReport {
+	var spec string
+	if p.spec != nil {
+		spec = p.spec.raw
+	}
+	return metrics.FaultReport{
+		Spec:          spec,
+		Drops:         p.drops.Load(),
+		DroppedWork:   p.droppedWork.Load(),
+		Dups:          p.dups.Load(),
+		Delays:        p.delays.Load(),
+		DelaySteps:    p.delaySteps.Load(),
+		StallSteps:    p.StallStepsTotal(),
+		Crashes:       int64(len(p.Crashed())),
+		PurgedWork:    p.purgedWork.Load(),
+		RehomedWork:   p.rehomedWork.Load(),
+		Retries:       p.retries.Load(),
+		Acks:          p.acks.Load(),
+		ReclaimedWork: p.reclaimedWork.Load(),
+		DupDiscards:   p.dupDiscards.Load(),
+	}
+}

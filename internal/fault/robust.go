@@ -1,0 +1,300 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"ringsched/internal/ring"
+	"ringsched/internal/sim"
+)
+
+// Protocol configures the robust migration protocol.
+type Protocol struct {
+	// RetryAfter is the number of steps a transmission waits for its
+	// acknowledgement before the first retransmit (>= 1; default 8).
+	// It should exceed 2*Transit or every packet is retried once.
+	RetryAfter int64
+	// MaxBackoff caps the doubling retry interval (default 64).
+	MaxBackoff int64
+}
+
+func (p Protocol) retryAfter() int64 {
+	if p.RetryAfter <= 0 {
+		return 8
+	}
+	return p.RetryAfter
+}
+
+func (p Protocol) maxBackoff() int64 {
+	if p.MaxBackoff <= 0 {
+		return 64
+	}
+	if r := p.retryAfter(); p.MaxBackoff < r {
+		return r
+	}
+	return p.MaxBackoff
+}
+
+// Envelope is the robust protocol's wire format, carried in Packet.Meta.
+// Data envelopes (Ack < 0) wrap one inner-algorithm packet and are
+// retransmitted until acknowledged; sequence numbers are per (sender,
+// direction), so the receiving neighbor deduplicates with a per-in-link
+// seen set. Ack envelopes (Ack >= 0) acknowledge the data envelope with
+// that sequence number travelling the opposite way; they carry no
+// payload and are themselves unreliable — a lost ack is repaired by the
+// data retransmit provoking a duplicate-discard re-ack.
+type Envelope struct {
+	Src   int   // sending processor
+	Seq   int64 // per-(src, direction) data sequence number
+	Ack   int64 // -1 for data; otherwise the sequence number acknowledged
+	Inner any   // the wrapped algorithm's Packet.Meta (data only)
+}
+
+// Robust wraps an algorithm's nodes in the ack/timeout/retry migration
+// protocol so it runs unmodified on a faulty substrate: every Send is
+// enveloped with a sequence number and retransmitted with bounded
+// exponential backoff until acknowledged; receivers deduplicate,
+// acknowledge, and record delivery receipts in the plane's oracle so
+// crash-time settlement never duplicates or loses a unit of work. The
+// wrapped nodes implement sim.OutstandingReporter (quiescence must wait
+// out unacknowledged payload) and sim.Salvager (a crashing processor's
+// unsettled retransmit buffer re-homes with its pool).
+func Robust(alg sim.Algorithm, pl *Plane, cfg Protocol) sim.Algorithm {
+	return &robustAlg{alg: alg, pl: pl, cfg: cfg}
+}
+
+type robustAlg struct {
+	alg sim.Algorithm
+	pl  *Plane
+	cfg Protocol
+}
+
+func (a *robustAlg) Name() string { return a.alg.Name() + "+robust" }
+
+func (a *robustAlg) NewNode(local sim.LocalInfo) sim.Node {
+	n := &robustNode{inner: a.alg.NewNode(local), pl: a.pl, cfg: a.cfg, me: -1}
+	for d := 0; d < 2; d++ {
+		n.pend[d] = make(map[int64]*pending)
+		n.seen[d] = make(map[int64]bool)
+	}
+	return n
+}
+
+// pending is one unacknowledged data transmission.
+type pending struct {
+	dir     ring.Direction
+	work    int64
+	jobs    []int64
+	payload int64
+	meta    any   // inner Meta, re-enveloped on retransmit
+	sentAt  int64 // step of the last (re)transmission
+	wait    int64 // current backoff interval
+}
+
+type robustNode struct {
+	inner sim.Node
+	pl    *Plane
+	cfg   Protocol
+	me    int
+
+	nextSeq     [2]int64              // per-direction data sequence counters
+	pend        [2]map[int64]*pending // per-direction unacknowledged transmissions
+	seen        [2]map[int64]bool     // per-in-link accepted sequence numbers
+	outstanding int64                 // unacknowledged payload (quiescence accounting)
+}
+
+var (
+	_ sim.Node                = (*robustNode)(nil)
+	_ sim.OutstandingReporter = (*robustNode)(nil)
+	_ sim.Salvager            = (*robustNode)(nil)
+)
+
+// dirSlot maps a direction to an array slot (cw=0, ccw=1).
+func dirSlot(d ring.Direction) int {
+	if d == ring.Clockwise {
+		return 0
+	}
+	return 1
+}
+
+func slotDir(s int) ring.Direction {
+	if s == 0 {
+		return ring.Clockwise
+	}
+	return ring.CounterClockwise
+}
+
+func (n *robustNode) Start(ctx sim.Ctx) {
+	n.me = ctx.Me()
+	n.inner.Start(&rctx{Ctx: ctx, n: n})
+}
+
+func (n *robustNode) Receive(ctx sim.Ctx, p *sim.Packet) {
+	env, ok := p.Meta.(*Envelope)
+	if !ok {
+		panic(fmt.Sprintf("fault: processor %d received a non-enveloped packet (Meta %T); "+
+			"all processors must run the Robust wrapper", ctx.Me(), p.Meta))
+	}
+	if env.Ack >= 0 {
+		// Acknowledgement for a transmission of ours: the acked data
+		// travelled opposite to the ack's direction.
+		d := dirSlot(p.Dir.Opposite())
+		if pd := n.pend[d][env.Ack]; pd != nil {
+			n.outstanding -= pd.payload
+			delete(n.pend[d], env.Ack)
+		}
+		return
+	}
+	// Data from the upstream neighbor on this in-link.
+	slot := dirSlot(p.Dir)
+	if n.seen[slot][env.Seq] {
+		// Duplicate (injected, or a retransmit whose ack was lost):
+		// discard the payload — the first copy was deposited — and
+		// re-acknowledge so the sender settles.
+		n.pl.ObserveDupDiscard()
+		n.ack(ctx, p.Dir, env.Seq)
+		return
+	}
+	n.seen[slot][env.Seq] = true
+	// Receipt before ack: if we crash after depositing, the sender's
+	// settlement consults the oracle and must find the delivery.
+	n.pl.MarkReceived(env.Src, p.Dir, env.Seq)
+	n.inner.Receive(&rctx{Ctx: ctx, n: n}, &sim.Packet{
+		Dir: p.Dir, Work: p.Work, Jobs: p.Jobs, Meta: env.Inner,
+	})
+	n.ack(ctx, p.Dir, env.Seq)
+}
+
+// ack emits the (unreliable, unretried) acknowledgement for seq received
+// on the in-link with travel direction d.
+func (n *robustNode) ack(ctx sim.Ctx, d ring.Direction, seq int64) {
+	n.pl.ObserveAck()
+	ctx.Send(&sim.Packet{Dir: d.Opposite(), Meta: &Envelope{Src: ctx.Me(), Seq: -1, Ack: seq}})
+}
+
+func (n *robustNode) Tick(ctx sim.Ctx) {
+	n.inner.Tick(&rctx{Ctx: ctx, n: n})
+	now := ctx.Now()
+	topo := ring.New(ctx.M())
+	for slot := 0; slot < 2; slot++ {
+		if len(n.pend[slot]) == 0 {
+			continue
+		}
+		dir := slotDir(slot)
+		dest := topo.Step(n.me, dir)
+		// Sorted iteration: retransmission order feeds the per-link
+		// sequence counter, which feeds fault verdicts — map order would
+		// desynchronize the two engines' fault schedules.
+		seqs := make([]int64, 0, len(n.pend[slot]))
+		for s := range n.pend[slot] {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, s := range seqs {
+			pd := n.pend[slot][s]
+			if n.pl.Dead(dest, now) {
+				n.settleDead(ctx, dir, s, pd)
+				continue
+			}
+			if now-pd.sentAt < pd.wait {
+				continue
+			}
+			n.pl.ObserveRetry()
+			pd.sentAt = now
+			if pd.wait *= 2; pd.wait > n.cfg.maxBackoff() {
+				pd.wait = n.cfg.maxBackoff()
+			}
+			ctx.Send(&sim.Packet{
+				Dir:  dir,
+				Work: pd.work,
+				Jobs: append([]int64(nil), pd.jobs...),
+				Meta: &Envelope{Src: n.me, Seq: s, Ack: -1, Inner: pd.meta},
+			})
+		}
+	}
+}
+
+// settleDead settles a pending transmission whose destination has
+// crash-stopped: if the oracle has a delivery receipt the receiver owned
+// the payload (and the crash re-homed it with the pool), so the pending
+// entry is simply dropped; otherwise the payload never arrived (in-flight
+// copies to a dead processor are purged by the engines) and is reclaimed
+// into the local pool.
+func (n *robustNode) settleDead(ctx sim.Ctx, dir ring.Direction, seq int64, pd *pending) {
+	if !n.pl.WasReceived(n.me, dir, seq) {
+		if pd.work > 0 {
+			ctx.Deposit(pd.work)
+		}
+		for _, s := range pd.jobs {
+			ctx.DepositJob(s)
+		}
+		n.pl.ObserveReclaim(pd.payload)
+	}
+	n.outstanding -= pd.payload
+	delete(n.pend[dirSlot(dir)], seq)
+}
+
+// Outstanding implements sim.OutstandingReporter: unacknowledged payload
+// that a retry could still re-create, which quiescence must wait out.
+func (n *robustNode) Outstanding() int64 { return n.outstanding }
+
+// SalvageOutstanding implements sim.Salvager: called once by the engine
+// when this processor crash-stops. Transmissions with a delivery receipt
+// are settled (the receiver owns the payload); the rest is returned for
+// re-homing alongside the pool. In-flight copies from a dead sender are
+// purged by the engines, so salvaged payload cannot also arrive.
+func (n *robustNode) SalvageOutstanding() (unit int64, jobs []int64) {
+	for slot := 0; slot < 2; slot++ {
+		dir := slotDir(slot)
+		seqs := make([]int64, 0, len(n.pend[slot]))
+		for s := range n.pend[slot] {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, s := range seqs {
+			pd := n.pend[slot][s]
+			if !n.pl.WasReceived(n.me, dir, s) {
+				unit += pd.work
+				jobs = append(jobs, pd.jobs...)
+			}
+			n.outstanding -= pd.payload
+			delete(n.pend[slot], s)
+		}
+	}
+	return unit, jobs
+}
+
+// rctx is the Ctx handed to the wrapped node: Send envelopes the packet
+// and registers it for retransmission; everything else passes through.
+type rctx struct {
+	sim.Ctx
+	n *robustNode
+}
+
+func (c *rctx) Send(p *sim.Packet) {
+	sim.CheckPacket(p)
+	n := c.n
+	slot := dirSlot(p.Dir)
+	seq := n.nextSeq[slot]
+	n.nextSeq[slot]++
+	pd := &pending{
+		dir:     p.Dir,
+		work:    p.Work,
+		jobs:    append([]int64(nil), p.Jobs...),
+		payload: p.Work,
+		meta:    p.Meta,
+		sentAt:  c.Ctx.Now(),
+		wait:    n.cfg.retryAfter(),
+	}
+	for _, s := range p.Jobs {
+		pd.payload += s
+	}
+	n.pend[slot][seq] = pd
+	n.outstanding += pd.payload
+	c.Ctx.Send(&sim.Packet{
+		Dir:  p.Dir,
+		Work: p.Work,
+		Jobs: append([]int64(nil), p.Jobs...),
+		Meta: &Envelope{Src: n.me, Seq: seq, Ack: -1, Inner: p.Meta},
+	})
+}

@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"fmt"
+
+	"ringsched/internal/instance"
+	"ringsched/internal/metrics"
+	"ringsched/internal/sim"
+)
+
+// Verify audits a trace recorded under fault injection against the hard
+// invariants that must survive any fault schedule:
+//
+//   - no job lost and no job double-processed: total processed work
+//     equals the instance's total work exactly;
+//   - every processor completes at most Speed units per step;
+//   - a crash-stopped processor processes nothing at or after its crash
+//     step, and a stalled processor processes nothing while stalled.
+//
+// The §2 conservation rules of Trace.Verify (send/deliver balance, pool
+// accounting) deliberately do not apply: loss, duplication and re-homing
+// legitimately break per-step flow balance. Quiescence of the surviving
+// ring is checked by the engines themselves (ErrNotQuiescent); the
+// makespan-degradation bound is AdditiveBound.
+func Verify(in instance.Instance, tr *sim.Trace, pl *Plane) error {
+	if tr == nil {
+		return fmt.Errorf("fault: nil trace")
+	}
+	if in.M != tr.M {
+		return fmt.Errorf("fault: trace ring size %d != instance %d", tr.M, in.M)
+	}
+	speed := tr.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	procAt := make(map[[2]int64]int64)
+	var processed int64
+	for _, ev := range tr.Events {
+		if ev.Proc < 0 || ev.Proc >= tr.M {
+			return fmt.Errorf("fault: event at nonexistent processor %d", ev.Proc)
+		}
+		if ev.T < 0 || ev.T >= tr.Steps {
+			return fmt.Errorf("fault: event at t=%d outside run of %d steps", ev.T, tr.Steps)
+		}
+		if ev.Kind != sim.EvProcess {
+			continue
+		}
+		if pl != nil {
+			if c := pl.CrashStep(ev.Proc); c >= 0 && ev.T >= c {
+				return fmt.Errorf("fault: processor %d processed work at t=%d after crashing at t=%d",
+					ev.Proc, ev.T, c)
+			}
+			if pl.Stalled(ev.Proc, ev.T) {
+				return fmt.Errorf("fault: processor %d processed work at t=%d while stalled", ev.Proc, ev.T)
+			}
+		}
+		key := [2]int64{int64(ev.Proc), ev.T}
+		procAt[key] += ev.Amount
+		if procAt[key] > speed {
+			return fmt.Errorf("fault: processor %d processed %d units at t=%d (speed %d)",
+				ev.Proc, procAt[key], ev.T, speed)
+		}
+		processed += ev.Amount
+	}
+	switch want := in.TotalWork(); {
+	case processed < want:
+		return fmt.Errorf("fault: %d of %d work units processed — %d units lost",
+			processed, want, want-processed)
+	case processed > want:
+		return fmt.Errorf("fault: %d of %d work units processed — %d units double-processed",
+			processed, want, processed-want)
+	}
+	return nil
+}
+
+// AdditiveBound returns the makespan-degradation allowance for a faulty
+// run on a ring of m processors: the faulty makespan must not exceed the
+// clean makespan by more than this many steps. Each term charges one
+// fault class its worst-case serial cost — stall and delay steps at face
+// value, each loss/retry one full backoff interval of waiting, each
+// crash a full ring traversal for detection plus re-homing, and every
+// re-homed or reclaimed work unit one extra processing step (the
+// surviving neighbor absorbs it serially). The bound is deliberately
+// loose — it is a degradation *guarantee*, not an estimate — but it is
+// exactly 0 for a fault-free schedule, pinning zero-cost-when-disabled.
+func AdditiveBound(r metrics.FaultReport, m int, proto Protocol) int64 {
+	var b int64
+	b += r.StallSteps + r.DelaySteps
+	b += (r.Drops + r.Retries) * proto.maxBackoff()
+	b += r.Crashes * int64(2*m)
+	b += r.RehomedWork + r.ReclaimedWork + r.PurgedWork
+	if b > 0 {
+		b += int64(m) + proto.maxBackoff() // settlement slack
+	}
+	return b
+}

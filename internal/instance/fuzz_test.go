@@ -36,3 +36,59 @@ func FuzzUnmarshalJSON(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeInstance attacks the decoder with adversarial wire forms —
+// malformed load vectors, negative and non-positive sizes, ring sizes and
+// work sums near and past the hard caps — and checks that whatever it
+// accepts respects the resource bounds the engines rely on: M within
+// [1, MaxM], total work within MaxTotalWork, and every aggregate
+// (TotalWork, NumJobs, PMax, Works) computable without panic or overflow.
+func FuzzDecodeInstance(f *testing.F) {
+	seeds := []string{
+		`{"kind":"unit","m":3,"unit":[1,0,2]}`,
+		`{"kind":"sized","m":2,"sized":[[5],[1,1]]}`,
+		`{"kind":"unit","m":2,"unit":[-1,0]}`,                    // negative load
+		`{"kind":"sized","m":1,"sized":[[0]]}`,                   // zero-size job
+		`{"kind":"sized","m":1,"sized":[[-7]]}`,                  // negative size
+		`{"kind":"unit","m":4194305,"unit":[]}`,                  // m just past MaxM
+		`{"kind":"unit","m":999999999999,"unit":[1]}`,            // absurd m
+		`{"kind":"unit","m":1,"unit":[1125899906842624]}`,        // work == MaxTotalWork
+		`{"kind":"unit","m":1,"unit":[1125899906842625]}`,        // work > MaxTotalWork
+		`{"kind":"unit","m":2,"unit":[9223372036854775807,9223372036854775807]}`, // int64 overflow sum
+		`{"kind":"sized","m":2,"sized":[[9223372036854775807],[9223372036854775807]]}`,
+		`{"kind":"unit","m":2,"unit":[1,2,3]}`, // length mismatch
+		`{"kind":"unit","m":2,"sized":[[1],[1]]}`,
+		`{"kind":"wat","m":1,"unit":[1]}`,
+		`{"kind":"unit","m":1e3,"unit":[1]}`,
+		`[1,2,3]`, `"unit"`, `{}`, `{"kind":`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var in Instance
+		if err := json.Unmarshal(data, &in); err != nil {
+			return
+		}
+		if in.M < 1 || in.M > MaxM {
+			t.Fatalf("decoder accepted ring size %d", in.M)
+		}
+		total := in.TotalWork()
+		if total < 0 || total > MaxTotalWork {
+			t.Fatalf("decoder accepted total work %d", total)
+		}
+		if in.NumJobs() < 0 || in.PMax() < 0 || in.PMax() > total {
+			t.Fatalf("inconsistent aggregates for %v", in)
+		}
+		var sum int64
+		for _, w := range in.Works() {
+			if w < 0 {
+				t.Fatalf("negative per-processor work in %v", in)
+			}
+			sum += w
+		}
+		if sum != total {
+			t.Fatalf("Works sum %d != TotalWork %d", sum, total)
+		}
+	})
+}

@@ -52,13 +52,31 @@ func NewSized(sizes [][]int64) Instance {
 // Empty returns a unit instance of m processors with no jobs.
 func Empty(m int) Instance { return NewUnit(make([]int64, m)) }
 
-// Validate reports whether the instance is well-formed: positive ring size,
-// exactly one representation, matching lengths, and non-negative counts /
-// strictly positive job sizes.
+// Hard caps on decoded instances. Untrusted JSON (ringsched -in, fuzzing)
+// must not be able to demand absurd allocations or overflow the int64
+// work arithmetic every engine and bound relies on.
+const (
+	// MaxM bounds the ring size; ~4M processors, three orders of
+	// magnitude past the paper's largest case (m=1000).
+	MaxM = 1 << 22
+	// MaxTotalWork bounds n = sum x_i so that any sum of at most MaxM
+	// per-processor works, and any makespan bound derived from one,
+	// stays far from int64 overflow.
+	MaxTotalWork = 1 << 50
+)
+
+// Validate reports whether the instance is well-formed: positive ring size
+// within MaxM, exactly one representation, matching lengths, non-negative
+// counts / strictly positive job sizes, and total work within MaxTotalWork
+// (checked without overflowing).
 func (in Instance) Validate() error {
 	if in.M < 1 {
 		return fmt.Errorf("instance: ring size %d < 1", in.M)
 	}
+	if in.M > MaxM {
+		return fmt.Errorf("instance: ring size %d exceeds the maximum %d", in.M, MaxM)
+	}
+	var total int64
 	switch {
 	case in.Unit != nil && in.Sized != nil:
 		return errors.New("instance: both Unit and Sized set")
@@ -72,6 +90,10 @@ func (in Instance) Validate() error {
 			if x < 0 {
 				return fmt.Errorf("instance: negative job count %d on processor %d", x, i)
 			}
+			if x > MaxTotalWork-total {
+				return fmt.Errorf("instance: total work exceeds the maximum %d at processor %d", int64(MaxTotalWork), i)
+			}
+			total += x
 		}
 	default:
 		if len(in.Sized) != in.M {
@@ -82,6 +104,10 @@ func (in Instance) Validate() error {
 				if p <= 0 {
 					return fmt.Errorf("instance: non-positive job size %d on processor %d", p, i)
 				}
+				if p > MaxTotalWork-total {
+					return fmt.Errorf("instance: total work exceeds the maximum %d at processor %d", int64(MaxTotalWork), i)
+				}
+				total += p
 			}
 		}
 	}

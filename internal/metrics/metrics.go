@@ -138,6 +138,39 @@ type Summary struct {
 	// and at its worst.
 	InitialGini float64 `json:"initialGini"`
 	PeakGini    float64 `json:"peakGini"`
+	// Faults is the fault-injection and recovery accounting of the run
+	// (nil for fault-free runs); see Ring.SetFaults.
+	Faults *FaultReport `json:"faults,omitempty"`
+}
+
+// FaultReport is the counter snapshot of one run's injected faults and
+// the robust migration protocol's recovery actions. internal/fault's
+// Plane produces it; it rides along in Summary (and therefore in the
+// metrics JSONL export) and on expvar in the CLIs. All work quantities
+// are job-payload units; the rest are event counts.
+type FaultReport struct {
+	Spec          string `json:"spec,omitempty"` // the seed:spec string the plane was built from
+	Drops         int64  `json:"drops"`          // packets lost by the plane
+	DroppedWork   int64  `json:"droppedWork"`    // payload aboard lost packets
+	Dups          int64  `json:"dups"`           // packets duplicated by the plane
+	Delays        int64  `json:"delays"`         // packets given extra delay
+	DelaySteps    int64  `json:"delaySteps"`     // total extra steps injected
+	StallSteps    int64  `json:"stallSteps"`     // processor-steps spent stalled
+	Crashes       int64  `json:"crashes"`        // crash-stop failures
+	PurgedWork    int64  `json:"purgedWork"`     // payload purged at/with crashed processors
+	RehomedWork   int64  `json:"rehomedWork"`    // pool payload re-homed to neighbors
+	Retries       int64  `json:"retries"`        // protocol retransmissions
+	Acks          int64  `json:"acks"`           // acknowledgement packets sent
+	ReclaimedWork int64  `json:"reclaimedWork"`  // payload reclaimed locally (dead destination)
+	DupDiscards   int64  `json:"dupDiscards"`    // duplicate deliveries discarded by sequence number
+}
+
+// SetFaults attaches a fault report to the collector so Summary (and the
+// JSONL export) carry the run's fault accounting.
+func (r *Ring) SetFaults(f FaultReport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faults = &f
 }
 
 // Ring is the standard Collector: it folds the event stream into the
@@ -180,6 +213,7 @@ type Ring struct {
 
 	scratch []int64 // reused sort buffer for the Gini computation
 	series  []StepMetrics
+	faults  *FaultReport // attached via SetFaults; nil for fault-free runs
 }
 
 var _ Collector = (*Ring)(nil)
@@ -376,6 +410,7 @@ func (r *Ring) Summary() Summary {
 		InitialGini:   r.giniInit,
 		PeakGini:      r.giniPeak,
 		TimeToBalance: r.lastUnbal + 1,
+		Faults:        r.faults,
 	}
 	if r.steps > 0 && r.run.M > 0 {
 		s.IdleFraction = float64(r.idleSteps) / float64(r.steps*int64(r.run.M))

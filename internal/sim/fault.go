@@ -1,0 +1,109 @@
+package sim
+
+import "ringsched/internal/ring"
+
+// FaultPlane is the fault-injection hook both runtimes consult. It lives
+// in this package (rather than internal/fault, which provides the
+// standard implementation) so that the engines do not import the fault
+// package while the fault package's robust-migration wrapper imports the
+// engines' Node/Ctx types.
+//
+// Implementations must be deterministic pure functions of their
+// arguments (plus the seed they were built with): the sequential engine
+// and the goroutine-per-processor runtime consult the plane in different
+// call orders, and the chaos harness requires both to see the identical
+// fault schedule. Implementations must also be safe for concurrent use.
+//
+// A nil FaultPlane in Options means fault-free execution; every fault
+// branch in the engines is behind one nil check, so disabled fault
+// injection is zero-cost and byte-identical to the pre-fault engines.
+type FaultPlane interface {
+	// SendVerdict is consulted once per algorithm packet leaving proc
+	// `from` in direction dir. seq counts that directed link's
+	// transmissions (0,1,2,...) so the verdict is a pure function of the
+	// link's traffic history, not of goroutine interleaving; payload is
+	// the packet's job payload, passed for fault-mass accounting only and
+	// never an input to the verdict. drop loses the packet, dup delivers
+	// a second copy, delay adds extra steps on top of the transit time.
+	// Engine-level recovery (Rehome) packets bypass the verdict: the
+	// recovery substrate is modeled as reliable.
+	SendVerdict(from int, dir ring.Direction, seq, payload int64) (drop, dup bool, delay int64)
+	// Stalled reports whether proc skips its exchange+process+tick phase
+	// at step t (a transient stall; arriving packets are buffered by the
+	// engine and delivered when the stall ends).
+	Stalled(proc int, t int64) bool
+	// CrashStep returns the step at which proc crash-stops, or -1. From
+	// that step on the processor neither receives, processes, ticks, nor
+	// sends; the engine re-homes its pool (and its robust-protocol
+	// retransmit buffer, if any) to the nearest surviving neighbors via
+	// Rehome packets.
+	CrashStep(proc int) int64
+	// ObservePurge records payload the engine dropped because its
+	// destination or source had crash-stopped (in-flight purge).
+	ObservePurge(t int64, payload int64)
+	// ObserveRehome records pool payload re-homed away from a crashed
+	// processor.
+	ObserveRehome(t int64, payload int64)
+}
+
+// Rehome marks a crash-recovery packet (as its Meta): when a processor
+// crash-stops, its unprocessed pool (and any unsettled retransmit
+// payload) is split and sent to its two neighbors in the packet's
+// Work/Jobs fields. A Rehome packet arriving at a live processor is
+// deposited straight into the pool by the engine (no Node callback);
+// arriving at a crashed processor it is forwarded onward, so the work
+// lands on the nearest surviving neighbor. Rehome packets bypass fault
+// verdicts and carry no link sequence number: the recovery substrate is
+// modeled as reliable.
+type Rehome struct {
+	From int // the crashed processor
+}
+
+// OutstandingReporter is implemented by Node programs (the robust
+// migration wrapper in internal/fault) that hold sent-but-unacknowledged
+// payload. The engines add Outstanding to their quiescence accounting so
+// a run cannot terminate while a retry could still re-create work.
+type OutstandingReporter interface {
+	Outstanding() int64
+}
+
+// Salvager is implemented by Node programs whose unsettled retransmit
+// payload must be re-homed when their processor crash-stops: the engine
+// calls SalvageOutstanding once, at the crash step, and ships the
+// returned work alongside the pool in the Rehome transfer. The
+// implementation must return only payload whose delivery is known to
+// have failed (already-received sequence numbers are settled, not
+// salvaged), so no unit of work is ever duplicated.
+type Salvager interface {
+	SalvageOutstanding() (unit int64, jobs []int64)
+}
+
+// SplitRehome deterministically splits a crashed processor's pool into
+// the clockwise and counter-clockwise Rehome shares. Both runtimes use
+// it so crash recovery is bit-identical across engines: unit work is
+// split half-and-half (clockwise gets the extra unit), sized jobs are
+// dealt alternately starting clockwise, and the partially processed
+// job's remainder travels clockwise as unit work.
+func SplitRehome(unit, remaining int64, jobs []int64) (cwUnit, ccwUnit int64, cwJobs, ccwJobs []int64) {
+	cwUnit = (unit+1)/2 + remaining
+	ccwUnit = unit / 2
+	for i, s := range jobs {
+		if i%2 == 0 {
+			cwJobs = append(cwJobs, s)
+		} else {
+			ccwJobs = append(ccwJobs, s)
+		}
+	}
+	return cwUnit, ccwUnit, cwJobs, ccwJobs
+}
+
+// clonePacket deep-copies a packet for fault-injected duplication (the
+// Meta payload is shared; the robust protocol's envelopes are immutable
+// after send).
+func clonePacket(p *Packet) *Packet {
+	q := &Packet{Dir: p.Dir, Work: p.Work, Meta: p.Meta}
+	if p.Jobs != nil {
+		q.Jobs = append([]int64(nil), p.Jobs...)
+	}
+	return q
+}

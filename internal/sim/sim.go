@@ -122,6 +122,12 @@ type Options struct {
 	// internal/metrics). A nil collector costs one pointer comparison
 	// per packet and per step.
 	Collector metrics.Collector
+	// Faults, when non-nil, is the fault-injection plane (see FaultPlane
+	// and internal/fault): per-link loss/duplication/extra-delay,
+	// transient processor stalls, and crash-stop failures with
+	// neighbor-directed pool re-homing. Nil means fault-free execution
+	// on the exact pre-fault code path.
+	Faults FaultPlane
 }
 
 func (o Options) speed() int64 {
@@ -329,6 +335,15 @@ type engine struct {
 	mc       metrics.Collector
 	mcPools  []int64 // reused per-step pool snapshot for the collector
 
+	// Fault-injection state (nil/empty when fp == nil).
+	fp        FaultPlane
+	linkSeq   []int64             // per directed link transmission counters
+	delayed   map[int64][]transit // release step -> fault-delayed packets
+	stallBuf  [][]transit         // per-proc deliveries buffered during a stall
+	crashAt   []int64             // per-proc crash step, -1 = never
+	dead      []bool              // proc has crash-stopped
+	rehomeOut []transit           // engine-level recovery packets sent this step
+
 	jobHops  int64
 	messages int64
 }
@@ -359,9 +374,20 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 		pipeline: make([][]transit, opts.transit()),
 		opts:     opts,
 	}
+	if opts.Faults != nil {
+		e.fp = opts.Faults
+		e.linkSeq = make([]int64, 2*m)
+		e.delayed = make(map[int64][]transit)
+		e.stallBuf = make([][]transit, m)
+		e.crashAt = make([]int64, m)
+		e.dead = make([]bool, m)
+		for i := 0; i < m; i++ {
+			e.crashAt[i] = e.fp.CrashStep(i)
+		}
+	}
 	if opts.Record {
 		e.trace = &Trace{Algorithm: alg.Name(), M: m, LinkCapacity: opts.LinkCapacity,
-			Speed: opts.speed(), Transit: opts.transit()}
+			Speed: opts.speed(), Transit: opts.transit(), Faulty: e.fp != nil}
 	}
 	if opts.Collector != nil {
 		e.mc = opts.Collector
@@ -374,6 +400,10 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 8*(in.TotalWork()+int64(m))*opts.transit() + 64
+		if e.fp != nil {
+			// Retries, stalls and re-homing legitimately stretch a run.
+			maxSteps *= 8
+		}
 	}
 
 	for i := 0; i < m; i++ {
@@ -400,10 +430,47 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 			return res, fmt.Errorf("%w (t=%d, alg=%s)", ErrNotQuiescent, t, alg.Name())
 		}
 
+		// Phase 0 (faults only): crash-stops take effect at the start of
+		// their step — the processor drops out of every later phase and
+		// its unprocessed pool (plus any unsettled retransmit payload a
+		// Salvager reports) is re-homed toward both neighbors.
+		if e.fp != nil && t > 0 {
+			for p := 0; p < m; p++ {
+				if !e.dead[p] && e.crashAt[p] == t {
+					e.crash(p, t)
+				}
+			}
+		}
+
 		// Phase 1: start (t=0) or deliveries.
 		slot := int(t % e.opts.transit())
 		inbox := e.pipeline[slot]
 		e.pipeline[slot] = nil
+		if e.fp != nil {
+			// Fault-delayed packets released this step arrive after the
+			// regular pipeline traffic (same per-link order as the
+			// concurrent runtime's flush).
+			if dl, ok := e.delayed[t]; ok {
+				inbox = append(inbox, dl...)
+				delete(e.delayed, t)
+			}
+			// Stalls that ended this step replay their buffered
+			// deliveries before fresh arrivals.
+			if t > 0 {
+				for p := 0; p < m; p++ {
+					if len(e.stallBuf[p]) == 0 || e.dead[p] || e.fp.Stalled(p, t) {
+						continue
+					}
+					buf := e.stallBuf[p]
+					e.stallBuf[p] = nil
+					for _, tr := range buf {
+						if err := e.deliverOne(tr, t, alg.Name()); err != nil {
+							return res, err
+						}
+					}
+				}
+			}
+		}
 		if t == 0 {
 			for i := 0; i < m; i++ {
 				ctx := &engineCtx{eng: e, me: i, now: 0}
@@ -433,17 +500,8 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 					if tr.p.Dir != want {
 						continue
 					}
-					dest := e.top.Step(tr.from, tr.p.Dir)
-					e.messages++
-					e.record(Event{T: t, Kind: EvDeliver, Proc: dest, Dir: tr.p.Dir, Amount: tr.p.payload(), JobCount: tr.p.jobCount()})
-					if e.mc != nil {
-						e.mc.Deliver(t, dest, tr.p.Dir, tr.p.payload(), tr.p.jobCount())
-					}
-					ctx := &engineCtx{eng: e, me: dest, now: t, inRecv: true, pending: tr.p.payload()}
-					e.nodes[dest].Receive(ctx, tr.p)
-					if ctx.pending != 0 {
-						return res, fmt.Errorf("%w: %d work at proc %d, t=%d, alg=%s",
-							errLeak, ctx.pending, dest, t, alg.Name())
+					if err := e.deliverOne(tr, t, alg.Name()); err != nil {
+						return res, err
 					}
 				}
 			}
@@ -455,6 +513,9 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 		for i := 0; i < m; i++ {
 			if w := e.pools[i].work(); w > res.MaxPool[i] {
 				res.MaxPool[i] = w
+			}
+			if e.fp != nil && (e.dead[i] || e.fp.Stalled(i, t)) {
+				continue
 			}
 			var done int64
 			for u := int64(0); u < e.opts.speed(); u++ {
@@ -475,6 +536,9 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 
 		// Phase 3: per-step logic.
 		for i := 0; i < m; i++ {
+			if e.fp != nil && (e.dead[i] || e.fp.Stalled(i, t)) {
+				continue
+			}
 			ctx := &engineCtx{eng: e, me: i, now: t}
 			e.nodes[i].Tick(ctx)
 		}
@@ -499,8 +563,44 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 		}
 
 		// Packets sent at t are delivered at t+Transit.
-		e.pipeline[slot] = e.outbox
-		e.outbox = inbox[:0]
+		if e.fp == nil {
+			e.pipeline[slot] = e.outbox
+			e.outbox = inbox[:0]
+		} else {
+			// Fault verdicts apply at flush time: every algorithm packet
+			// consumes its link's next transmission sequence number, so
+			// both runtimes compute the identical fault schedule.
+			deliver := inbox[:0]
+			for _, tr := range e.outbox {
+				li := 2*tr.from + linkDirIdx(tr.p.Dir)
+				seq := e.linkSeq[li]
+				e.linkSeq[li]++
+				drop, dup, delay := e.fp.SendVerdict(tr.from, tr.p.Dir, seq, tr.p.payload())
+				if drop {
+					continue
+				}
+				copies := 1
+				if dup {
+					copies = 2
+				}
+				for k := 0; k < copies; k++ {
+					pk := tr
+					if k == 1 {
+						pk.p = clonePacket(tr.p)
+					}
+					if delay > 0 {
+						rel := t + e.opts.transit() + delay
+						e.delayed[rel] = append(e.delayed[rel], pk)
+					} else {
+						deliver = append(deliver, pk)
+					}
+				}
+			}
+			deliver = append(deliver, e.rehomeOut...)
+			e.rehomeOut = e.rehomeOut[:0]
+			e.pipeline[slot] = deliver
+			e.outbox = nil
+		}
 		res.Steps = t + 1
 
 		if e.mc != nil {
@@ -535,7 +635,10 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 }
 
 // quiescent reports whether no processable or in-transit work remains.
-// Control-only packets (no job payload) do not block termination.
+// Control-only packets (no job payload) do not block termination. Under
+// fault injection, fault-delayed packets, stall-buffered deliveries and
+// sent-but-unacknowledged payload (OutstandingReporter) also count: a
+// retry may re-create work, so the run must not end while one is pending.
 func quiescent(e *engine) bool {
 	for i := range e.pools {
 		if e.pools[i].work() > 0 {
@@ -549,5 +652,121 @@ func quiescent(e *engine) bool {
 			}
 		}
 	}
+	if e.fp != nil {
+		for _, dl := range e.delayed {
+			for _, tr := range dl {
+				if tr.p.payload() > 0 {
+					return false
+				}
+			}
+		}
+		for i := range e.stallBuf {
+			for _, tr := range e.stallBuf[i] {
+				if tr.p.payload() > 0 {
+					return false
+				}
+			}
+		}
+		for i, n := range e.nodes {
+			if e.dead[i] {
+				continue
+			}
+			if o, ok := n.(OutstandingReporter); ok && o.Outstanding() > 0 {
+				return false
+			}
+		}
+	}
 	return true
+}
+
+// linkDirIdx maps a direction onto its slot within a processor's pair of
+// outbound links (0 = clockwise, 1 = counter-clockwise).
+func linkDirIdx(d ring.Direction) int {
+	if d == ring.Clockwise {
+		return 0
+	}
+	return 1
+}
+
+// deliverOne routes one arriving packet at step t: crash-recovery
+// transfers are applied (or forwarded past dead processors), packets
+// touching crashed processors are purged, packets to stalled processors
+// are buffered for the end of the stall, and everything else runs the
+// destination's Receive callback.
+func (e *engine) deliverOne(tr transit, t int64, alg string) error {
+	dest := e.top.Step(tr.from, tr.p.Dir)
+	if e.fp != nil {
+		if _, ok := tr.p.Meta.(*Rehome); ok {
+			if e.dead[dest] {
+				// Keep travelling until a surviving processor is found.
+				e.rehomeOut = append(e.rehomeOut, transit{from: dest, p: tr.p})
+				return nil
+			}
+			e.pools[dest].addUnit(tr.p.Work)
+			for _, s := range tr.p.Jobs {
+				e.pools[dest].addJob(s)
+			}
+			return nil
+		}
+		if e.dead[dest] || e.dead[tr.from] {
+			// Undeliverable, or the sender's in-flight output died with
+			// it (crash-stop loses the wire). The robust protocol
+			// re-creates lost payload from retransmit buffers/salvage.
+			e.fp.ObservePurge(t, tr.p.payload())
+			return nil
+		}
+		if e.fp.Stalled(dest, t) {
+			e.stallBuf[dest] = append(e.stallBuf[dest], tr)
+			return nil
+		}
+	}
+	e.messages++
+	e.record(Event{T: t, Kind: EvDeliver, Proc: dest, Dir: tr.p.Dir, Amount: tr.p.payload(), JobCount: tr.p.jobCount()})
+	if e.mc != nil {
+		e.mc.Deliver(t, dest, tr.p.Dir, tr.p.payload(), tr.p.jobCount())
+	}
+	ctx := &engineCtx{eng: e, me: dest, now: t, inRecv: true, pending: tr.p.payload()}
+	e.nodes[dest].Receive(ctx, tr.p)
+	if ctx.pending != 0 && e.fp == nil {
+		// Under fault injection the robust wrapper legitimately discards
+		// duplicate payload the plane created; conservation is enforced
+		// end-to-end by fault.Verify instead.
+		return fmt.Errorf("%w: %d work at proc %d, t=%d, alg=%s",
+			errLeak, ctx.pending, dest, t, alg)
+	}
+	return nil
+}
+
+// crash marks proc dead at step t and re-homes its unprocessed pool plus
+// any unsettled retransmit payload toward both neighbors as Rehome
+// packets (delivered from t+Transit on, forwarded past other casualties).
+func (e *engine) crash(proc int, t int64) {
+	e.dead[proc] = true
+	q := &e.pools[proc]
+	unit, rem := q.unit, q.remaining
+	jobs := append([]int64(nil), q.jobs...)
+	if s, ok := e.nodes[proc].(Salvager); ok {
+		su, sj := s.SalvageOutstanding()
+		unit += su
+		jobs = append(jobs, sj...)
+	}
+	*q = pool{}
+	cwU, ccwU, cwJ, ccwJ := SplitRehome(unit, rem, jobs)
+	var moved int64
+	if cwU > 0 || len(cwJ) > 0 {
+		p := &Packet{Dir: ring.Clockwise, Work: cwU, Jobs: cwJ, Meta: &Rehome{From: proc}}
+		moved += p.payload()
+		e.rehomeOut = append(e.rehomeOut, transit{from: proc, p: p})
+	}
+	if ccwU > 0 || len(ccwJ) > 0 {
+		p := &Packet{Dir: ring.CounterClockwise, Work: ccwU, Jobs: ccwJ, Meta: &Rehome{From: proc}}
+		moved += p.payload()
+		e.rehomeOut = append(e.rehomeOut, transit{from: proc, p: p})
+	}
+	e.fp.ObserveRehome(t, moved)
+	// Deliveries buffered during a stall die with the processor.
+	for _, tr := range e.stallBuf[proc] {
+		e.fp.ObservePurge(t, tr.p.payload())
+	}
+	e.stallBuf[proc] = nil
 }

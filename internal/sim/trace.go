@@ -65,7 +65,11 @@ type Trace struct {
 	Speed        int64 // work units per processor per step (>= 1)
 	Transit      int64 // steps per hop (>= 1)
 	Steps        int64
-	Events       []Event
+	// Faulty records that the run executed under a fault-injection plane,
+	// so the §2 conservation rules of Verify do not apply; use
+	// fault.Verify for the relaxed-but-hard faulty-execution invariants.
+	Faulty bool
+	Events []Event
 }
 
 func (tr *Trace) speed() int64 {
@@ -100,6 +104,9 @@ func (tr *Trace) Verify(in instance.Instance) error {
 	}
 	if in.M != tr.M {
 		return fmt.Errorf("sim: trace ring size %d != instance %d", tr.M, in.M)
+	}
+	if tr.Faulty {
+		return fmt.Errorf("sim: trace was recorded under fault injection; use fault.Verify")
 	}
 	procAt := make(map[[2]int64]int64) // (proc, t) -> units processed
 	sentAt := make(map[int64]int64)    // t -> payload sent

@@ -52,6 +52,7 @@ import (
 	"ringsched/internal/capring"
 	"ringsched/internal/dist"
 	"ringsched/internal/experiment"
+	"ringsched/internal/fault"
 	"ringsched/internal/instance"
 	"ringsched/internal/lb"
 	"ringsched/internal/metrics"
@@ -173,6 +174,44 @@ type DistOptions = dist.Options
 // algorithms as actual distributed processes.
 func ScheduleDistributed(in Instance, alg Algorithm, opts DistOptions) (DistResult, error) {
 	return dist.Run(in, alg, opts)
+}
+
+// FaultPlane is a bound fault-injection schedule: deterministic per-link
+// loss/duplication/delay verdicts plus processor stalls and crash-stops,
+// all derived from one seed. Both engines accept one via Options.Faults /
+// DistOptions.Faults.
+type FaultPlane = fault.Plane
+
+// FaultSpec is a parsed (unbound) fault specification.
+type FaultSpec = fault.Spec
+
+// FaultProtocol tunes the robust migration protocol's retry timeout and
+// backoff cap; the zero value uses the defaults.
+type FaultProtocol = fault.Protocol
+
+// FaultReport is the injection/recovery accounting of one faulty run.
+type FaultReport = metrics.FaultReport
+
+// ParseFaultPlane parses a "seed:spec" fault specification (see
+// fault.ParseSpec for the grammar) and binds it to a ring of m processors.
+// horizon bounds seeded random placements; <= 0 uses 4m.
+func ParseFaultPlane(spec string, m int, horizon int64) (*FaultPlane, error) {
+	return fault.ParsePlane(spec, m, horizon)
+}
+
+// RobustAlgorithm wraps alg in the ack/retry migration protocol so it
+// survives the plane's message loss, duplication and crash-stops without
+// losing or double-processing work. Run the result with Options.Faults
+// (or DistOptions.Faults) set to the same plane.
+func RobustAlgorithm(alg Algorithm, pl *FaultPlane, p FaultProtocol) Algorithm {
+	return fault.Robust(alg, pl, p)
+}
+
+// VerifyFaulty checks a recorded faulty execution against the hard
+// robustness invariants (no unit lost or double-processed, no work on
+// dead or stalled processors, speed limits respected).
+func VerifyFaulty(in Instance, tr *Trace, pl *FaultPlane) error {
+	return fault.Verify(in, tr, pl)
 }
 
 // LowerBound returns the strongest certified lower bound on the optimal
