@@ -1,0 +1,105 @@
+// Command ringserve runs the scheduling-as-a-service daemon: an
+// HTTP/JSON API over every algorithm and solver in the repository, with
+// a canonical-instance result cache exploiting the ring model's
+// rotation/reflection symmetry.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/schedule  run A1..C2, cap, or online on an instance
+//	POST /v1/optimal   exact solver under limits (maxArcs, deadlineMs)
+//	POST /v1/compare   algorithms scored against the exact optimum
+//	GET  /v1/healthz   liveness
+//	GET  /v1/statusz   counters: requests, cache hit-rate, queue depth
+//
+// Examples:
+//
+//	ringserve -addr :8372
+//	curl -s localhost:8372/v1/schedule -d '{"instance":{"kind":"unit","m":4,"unit":[9,0,0,3]},"algorithm":"C1"}'
+//	ringserve -selftest -requests 400 -clients 8
+//
+// The daemon drains gracefully on SIGTERM/SIGINT: the listener closes,
+// in-flight requests finish, the compute pool empties, then it exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ringsched/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "ringserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("ringserve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8372", "listen address")
+	workers := fs.Int("workers", 0, "compute pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "queue depth before 429 backpressure (0 = 4x workers)")
+	cacheEntries := fs.Int("cache", 0, "result cache capacity in entries (0 = 4096)")
+	timeout := fs.Duration("timeout", 0, "per-request compute deadline (0 = 30s)")
+	drain := fs.Duration("drain", 0, "graceful shutdown budget (0 = 30s)")
+	maxM := fs.Int("max-m", 0, "admission cap on ring size (0 = 100000)")
+	selftest := fs.Bool("selftest", false, "run the built-in zipf load generator against a loopback daemon and exit")
+	requests := fs.Int("requests", 0, "selftest: total requests (0 = 400)")
+	clients := fs.Int("clients", 0, "selftest: concurrent clients (0 = 8)")
+	seed := fs.Int64("seed", 1, "selftest: rng seed for the zipf mix and rotations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	cfg := serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+		MaxM:           *maxM,
+	}
+
+	if *selftest {
+		return serve.SelfTest(cfg, serve.SelfTestOptions{
+			Requests: *requests,
+			Clients:  *clients,
+			Seed:     *seed,
+		}, out)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	s := serve.New(cfg)
+	ln, err := serve.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "ringserve: listening on http://%s (workers=%d, drain on SIGTERM)\n",
+		ln.Addr(), effectiveWorkers(*workers))
+	start := time.Now()
+	if err := s.Serve(ctx, ln); err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "ringserve: drained cleanly after %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func effectiveWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}

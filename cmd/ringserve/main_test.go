@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSelfTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load run skipped in -short")
+	}
+	var out, errw bytes.Buffer
+	err := run([]string{"-selftest", "-requests", "150", "-clients", "4", "-seed", "3"}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run -selftest: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "hit-rate") {
+		t.Fatalf("selftest output missing hit-rate:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsStrayArgs(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"stray"}, &out, &errw); err == nil {
+		t.Fatal("expected an error for stray positional arguments")
+	}
+}

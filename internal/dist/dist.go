@@ -72,7 +72,34 @@ type Options struct {
 	// use; internal/fault's Plane is. Nil means fault-free execution on
 	// the exact pre-fault code path.
 	Faults sim.FaultPlane
+	// Ctx, when non-nil, cancels the run at the next step barrier, like
+	// RunContext: every processor goroutine exits and the returned error
+	// wraps both sim.ErrCanceled and the context's own error. When both
+	// this field and RunContext's argument are set, either one canceling
+	// stops the run.
+	Ctx context.Context
 }
+
+// canceledError is a step-barrier cancellation. A custom type keeps the
+// pre-existing message byte-identical while matching both
+// sim.ErrCanceled and the underlying context error under errors.Is.
+type canceledError struct {
+	t     int64
+	cause error
+}
+
+func (e *canceledError) Error() string {
+	return fmt.Sprintf("dist: run canceled at t=%d: %v", e.t, e.cause)
+}
+
+func (e *canceledError) Unwrap() []error { return []error{sim.ErrCanceled, e.cause} }
+
+// stepLimitError is a non-quiescence failure wrapping sim's step-limit
+// sentinel without changing the historical message.
+type stepLimitError struct{ msg string }
+
+func (e *stepLimitError) Error() string { return e.msg }
+func (e *stepLimitError) Unwrap() error { return sim.ErrNotQuiescent }
 
 // Run executes alg on in with one goroutine per processor and returns the
 // aggregate result. It is deterministic: although processors run
@@ -90,6 +117,16 @@ func Run(in instance.Instance, alg sim.Algorithm, opts Options) (Result, error) 
 func RunContext(ctx context.Context, in instance.Instance, alg sim.Algorithm, opts Options) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
+	}
+	if opts.Ctx != nil {
+		if ctx == nil || ctx == context.Background() {
+			ctx = opts.Ctx
+		} else {
+			// Both set: either canceling stops the run.
+			var cancel context.CancelFunc
+			ctx, cancel = mergeContexts(ctx, opts.Ctx)
+			defer cancel()
+		}
 	}
 	m := in.M
 	maxSteps := opts.MaxSteps
@@ -191,7 +228,7 @@ func RunContext(ctx context.Context, in instance.Instance, alg sim.Algorithm, op
 					statusMu.Lock()
 					defer statusMu.Unlock()
 					if err := ctx.Err(); err != nil && failure == nil {
-						failure = fmt.Errorf("dist: run canceled at t=%d: %w", t, err)
+						failure = &canceledError{t: t, cause: err}
 					}
 					lastBusy = busyWork
 					busyWork = 0
@@ -236,9 +273,18 @@ func RunContext(ctx context.Context, in instance.Instance, alg sim.Algorithm, op
 		return res, failure
 	}
 	if lastBusy != 0 {
-		return res, fmt.Errorf("dist: did not quiesce within %d steps (alg=%s)", maxSteps, alg.Name())
+		return res, &stepLimitError{msg: fmt.Sprintf("dist: did not quiesce within %d steps (alg=%s)", maxSteps, alg.Name())}
 	}
 	return res, nil
+}
+
+// mergeContexts returns a context canceled when either parent is: it
+// derives from a (inheriting values and deadline) and propagates b's
+// cancellation cause via AfterFunc.
+func mergeContexts(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancelCause(a)
+	stop := context.AfterFunc(b, func() { cancel(b.Err()) })
+	return ctx, func() { stop(); cancel(context.Canceled) }
 }
 
 // barrier is a reusable m-party barrier whose last arriver may run a

@@ -59,10 +59,49 @@ func TestRunContextCancelMidStep(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("err = %v does not wrap sim.ErrCanceled", err)
+	}
 	if res.Steps == 0 {
 		t.Error("partial result missing step count")
 	}
 }
+
+// TestOptionsCtxCancel: the Options.Ctx field cancels Run like
+// RunContext's argument, wrapping the ErrCanceled sentinel, and a
+// deadline on Options.Ctx behaves like a cancellation.
+func TestOptionsCtxCancel(t *testing.T) {
+	defer leakCheck(t)()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(instance.NewUnit([]int64{10, 0}), spinAlg{}, Options{Ctx: ctx})
+	if !errors.Is(err, sim.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+
+	// Both RunContext's argument and Options.Ctx set: the second one
+	// canceling still stops the run.
+	octx, ocancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(context.WithValue(context.Background(), ctxKey{}, 1),
+			instance.NewUnit([]int64{500, 0, 0, 0}), spinAlg{}, Options{Ctx: octx})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	ocancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, sim.ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop after Options.Ctx cancel")
+	}
+}
+
+type ctxKey struct{}
 
 // TestRunContextPreCanceled: an already-canceled context stops the run at
 // the first barrier without deadlock.

@@ -146,6 +146,11 @@ type Options struct {
 	// bind (e.g. more crash-stops than the case's ring tolerates), are
 	// recorded as per-run errors.
 	Faults string
+	// Ctx, when non-nil, cancels the suite like RunSuiteContext's
+	// argument: in-flight solver searches fall back to their certified
+	// lower bounds at the next probe boundary, pending cases start with
+	// an expired budget, and the suite still returns a complete report.
+	Ctx context.Context
 	// SuiteDeadline, when positive, bounds the solver time of the whole
 	// suite: the remaining budget is split fairly across the remaining
 	// cases at the moment each is claimed (scaled by the worker count,
@@ -188,8 +193,13 @@ func (o Options) workers() int {
 
 // RunSuite executes the given cases (use workload.Suite() for the paper's
 // 51) under the options, running up to Options.Workers cases concurrently.
+// Options.Ctx, when set, cancels the suite (see RunSuiteContext).
 func RunSuite(cases []workload.Case, o Options) (Report, error) {
-	return RunSuiteContext(context.Background(), cases, o)
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return RunSuiteContext(ctx, cases, o)
 }
 
 // caseOutcome is one worker's finished case, parked until the deterministic

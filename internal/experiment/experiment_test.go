@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -61,6 +62,43 @@ func TestRunSuiteSmall(t *testing.T) {
 				t.Errorf("case %s alg %s factor %.3f breaks the 4.22/5.22 regime",
 					cr.ID, alg, run.Factor)
 			}
+		}
+	}
+}
+
+// TestRunSuiteCanceledContext: a canceled Options.Ctx makes every
+// flow-solved case fall back to its certified lower bound, but the
+// suite still returns a complete, well-formed report (the contract the
+// serving layer's request deadlines rely on).
+func TestRunSuiteCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// rand cases need real flow probes (no closed form), so a canceled
+	// context demonstrably degrades them to the lower bound.
+	var cases []workload.Case
+	for _, id := range []string{"II-m10-rand100", "II-m100-rand100"} {
+		c, err := workload.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, c)
+	}
+	rep, err := RunSuite(cases, Options{Ctx: ctx, Algorithms: []string{"A2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cases) != len(cases) {
+		t.Fatalf("got %d case results, want %d", len(rep.Cases), len(cases))
+	}
+	if rep.DeadlineHits != len(cases) {
+		t.Errorf("DeadlineHits = %d, want %d (all cases degraded)", rep.DeadlineHits, len(cases))
+	}
+	for _, cr := range rep.Cases {
+		if cr.Opt.Exact {
+			t.Errorf("case %s solved exactly under a canceled context", cr.ID)
+		}
+		if cr.Opt.Length < 1 {
+			t.Errorf("case %s lost its certified lower bound", cr.ID)
 		}
 	}
 }

@@ -1,0 +1,229 @@
+package instance
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"slices"
+)
+
+// The scheduling model of §2 is invariant under relabeling processor 0
+// and under flipping the ring's orientation: rotating or reflecting an
+// instance changes nothing about its optimal schedule length, the
+// makespan any of the paper's algorithms achieves, or any other
+// aggregate quantity — only which index carries which load. Canonical
+// and Fingerprint exploit that symmetry: every one of the up-to-2m
+// dihedral copies of an instance maps to the same canonical form and
+// the same fingerprint, which is what makes result caching by
+// canonicalization (internal/serve) sound.
+
+// Rotate returns a copy of the instance with every processor's jobs
+// shifted k positions clockwise: processor (i+k) mod m of the result
+// holds what processor i held. Negative k rotates counter-clockwise.
+func (in Instance) Rotate(k int) Instance {
+	m := in.M
+	if m == 0 {
+		return in.Clone()
+	}
+	k = ((k % m) + m) % m
+	out := in.Clone()
+	if in.Unit != nil {
+		for i, x := range in.Unit {
+			out.Unit[(i+k)%m] = x
+		}
+		return out
+	}
+	for i := range in.Sized {
+		out.Sized[(i+k)%m] = cloneRow(in.Sized[i])
+	}
+	return out
+}
+
+// Reflect returns the mirror image of the instance: processor i's jobs
+// move to processor (m-i) mod m, reversing the ring's orientation.
+func (in Instance) Reflect() Instance {
+	m := in.M
+	out := in.Clone()
+	if m == 0 {
+		return out
+	}
+	if in.Unit != nil {
+		for i, x := range in.Unit {
+			out.Unit[(m-i)%m] = x
+		}
+		return out
+	}
+	for i := range in.Sized {
+		out.Sized[(m-i)%m] = cloneRow(in.Sized[i])
+	}
+	return out
+}
+
+// cloneRow copies a job-size row, preserving emptiness as a non-nil
+// empty slice (the form NewSized produces), so deep equality between
+// constructed and transformed instances behaves predictably.
+func cloneRow(r []int64) []int64 {
+	out := make([]int64, len(r))
+	copy(out, r)
+	return out
+}
+
+// Canonical returns the rotation/reflection-minimal representative of
+// the instance's dihedral equivalence class: the lexicographically
+// smallest sequence of per-processor job multisets over all 2m
+// rotations and reflections, with each processor's job list sorted
+// ascending (job order within a processor is immaterial to the model).
+// Two instances are equivalent under relabeling iff their Canonical
+// forms are deeply equal, and Canonical is idempotent. The
+// representation kind (unit vs sized) is preserved.
+func (in Instance) Canonical() Instance {
+	m := in.M
+	if m <= 1 {
+		out := in.Clone()
+		if out.Sized != nil {
+			for i := range out.Sized {
+				slices.Sort(out.Sized[i])
+			}
+		}
+		return out
+	}
+	if in.Unit != nil {
+		fwd := bestRotation(in.Unit, compareInt64)
+		rev := reversedInt64(in.Unit)
+		bwd := bestRotation(rev, compareInt64)
+		if slices.Compare(bwd, fwd) < 0 {
+			fwd = bwd
+		}
+		return Instance{M: m, Unit: fwd}
+	}
+	rows := make([][]int64, m)
+	for i, row := range in.Sized {
+		rows[i] = cloneRow(row)
+		slices.Sort(rows[i])
+	}
+	fwd := bestRotation(rows, compareRow)
+	rev := make([][]int64, m)
+	for i := range rows {
+		rev[i] = rows[m-1-i]
+	}
+	bwd := bestRotation(rev, compareRow)
+	if slices.CompareFunc(bwd, fwd, compareRow) < 0 {
+		fwd = bwd
+	}
+	return Instance{M: m, Sized: fwd}
+}
+
+func compareInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareRow(a, b []int64) int { return slices.Compare(a, b) }
+
+func reversedInt64(s []int64) []int64 {
+	out := make([]int64, len(s))
+	for i, x := range s {
+		out[len(s)-1-i] = x
+	}
+	return out
+}
+
+// bestRotation materializes the lexicographically least rotation of s.
+func bestRotation[T any](s []T, cmp func(a, b T) int) []T {
+	k := leastRotation(s, cmp)
+	out := make([]T, 0, len(s))
+	out = append(out, s[k:]...)
+	out = append(out, s[:k]...)
+	return out
+}
+
+// leastRotation returns the start index of the lexicographically least
+// rotation of s, via the classic O(n) two-candidate scan (Booth-style):
+// i and j are the two best candidate start positions, k the length of
+// their common prefix; a mismatch eliminates k+1 candidates at once.
+func leastRotation[T any](s []T, cmp func(a, b T) int) int {
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	i, j, k := 0, 1, 0
+	for i < n && j < n && k < n {
+		c := cmp(s[(i+k)%n], s[(j+k)%n])
+		if c == 0 {
+			k++
+			continue
+		}
+		if c > 0 {
+			i += k + 1
+		} else {
+			j += k + 1
+		}
+		if i == j {
+			j++
+		}
+		k = 0
+	}
+	if i < j {
+		return i
+	}
+	return j
+}
+
+// Fingerprint is a stable content hash of an instance's canonical form:
+// SHA-256 over a self-delimiting binary encoding, with Hash64 (the
+// hash's first 8 bytes) as a compact shard/map key. Rotating or
+// reflecting an instance never changes its Fingerprint; any other
+// change (different loads, different job sizes, unit vs sized
+// representation) does, up to SHA-256 collision resistance.
+type Fingerprint struct {
+	Hash64 uint64
+	SHA    [sha256.Size]byte
+}
+
+// String renders the fingerprint as "<hash64>-<sha256>" in hex. It is
+// the canonical cache-key form used by internal/serve.
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("%016x-%x", f.Hash64, f.SHA[:])
+}
+
+// fingerprintVersion tags the encoding; bump on incompatible changes.
+const fingerprintVersion = "ringsched.instance.fp/v1"
+
+// Fingerprint canonicalizes the instance and hashes the result. Equal
+// fingerprints identify instances that are equal up to rotation and
+// reflection of the ring.
+func (in Instance) Fingerprint() Fingerprint {
+	c := in.Canonical()
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	writeInt := func(v int64) {
+		n := binary.PutVarint(buf[:], v)
+		h.Write(buf[:n])
+	}
+	h.Write([]byte(fingerprintVersion))
+	if c.Unit != nil {
+		h.Write([]byte{'u'})
+		writeInt(int64(c.M))
+		for _, x := range c.Unit {
+			writeInt(x)
+		}
+	} else {
+		h.Write([]byte{'s'})
+		writeInt(int64(c.M))
+		for _, row := range c.Sized {
+			writeInt(int64(len(row)))
+			for _, p := range row {
+				writeInt(p)
+			}
+		}
+	}
+	var f Fingerprint
+	h.Sum(f.SHA[:0])
+	f.Hash64 = binary.BigEndian.Uint64(f.SHA[:8])
+	return f
+}

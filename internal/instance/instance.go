@@ -65,47 +65,65 @@ const (
 	MaxTotalWork = 1 << 50
 )
 
+// ErrInvalid is the sentinel every malformed-instance failure wraps:
+// errors.Is(err, ErrInvalid) holds for any error returned by Validate or
+// by UnmarshalJSON's structural checks, whatever the specific message.
+// The root package re-exports it as ringsched.ErrInvalidInstance.
+var ErrInvalid = errors.New("instance: invalid instance")
+
+// invalidError carries a specific diagnosis while matching ErrInvalid
+// under errors.Is. A custom type (rather than fmt.Errorf with %w) keeps
+// every pre-existing message byte-identical.
+type invalidError struct{ msg string }
+
+func (e *invalidError) Error() string { return e.msg }
+func (e *invalidError) Unwrap() error { return ErrInvalid }
+
+func invalidf(format string, a ...any) error {
+	return &invalidError{msg: fmt.Sprintf(format, a...)}
+}
+
 // Validate reports whether the instance is well-formed: positive ring size
 // within MaxM, exactly one representation, matching lengths, non-negative
 // counts / strictly positive job sizes, and total work within MaxTotalWork
-// (checked without overflowing).
+// (checked without overflowing). Every failure wraps ErrInvalid.
 func (in Instance) Validate() error {
 	if in.M < 1 {
-		return fmt.Errorf("instance: ring size %d < 1", in.M)
+		return invalidf("instance: ring size %d < 1", in.M)
 	}
 	if in.M > MaxM {
-		return fmt.Errorf("instance: ring size %d exceeds the maximum %d", in.M, MaxM)
+		return invalidf("instance: ring size %d exceeds the maximum %d", in.M, MaxM)
 	}
 	var total int64
 	switch {
 	case in.Unit != nil && in.Sized != nil:
-		return errors.New("instance: both Unit and Sized set")
+		return invalidf("instance: both Unit and Sized set")
 	case in.Unit == nil && in.Sized == nil:
-		return errors.New("instance: neither Unit nor Sized set")
+		return invalidf("instance: neither Unit nor Sized set")
 	case in.Unit != nil:
 		if len(in.Unit) != in.M {
-			return fmt.Errorf("instance: len(Unit)=%d but M=%d", len(in.Unit), in.M)
+			return invalidf("instance: len(Unit)=%d but M=%d", len(in.Unit), in.M)
 		}
 		for i, x := range in.Unit {
 			if x < 0 {
-				return fmt.Errorf("instance: negative job count %d on processor %d", x, i)
+				return invalidf("instance: negative job count %d on processor %d", x, i)
 			}
 			if x > MaxTotalWork-total {
-				return fmt.Errorf("instance: total work exceeds the maximum %d at processor %d", int64(MaxTotalWork), i)
+				return invalidf("instance: total work exceeds the maximum %d at processor %d", int64(MaxTotalWork), i)
 			}
 			total += x
 		}
 	default:
 		if len(in.Sized) != in.M {
-			return fmt.Errorf("instance: len(Sized)=%d but M=%d", len(in.Sized), in.M)
+			return invalidf("instance: len(Sized)=%d but M=%d", len(in.Sized), in.M)
 		}
 		for i, row := range in.Sized {
 			for _, p := range row {
 				if p <= 0 {
-					return fmt.Errorf("instance: non-positive job size %d on processor %d", p, i)
+					return invalidf("instance: non-positive job size %d on processor %d", p, i)
 				}
 				if p > MaxTotalWork-total {
-					return fmt.Errorf("instance: total work exceeds the maximum %d at processor %d", int64(MaxTotalWork), i)
+					return invalidf("instance: total work exceeds the maximum %d at processor %d", int64(MaxTotalWork), i)
 				}
 				total += p
 			}
@@ -257,7 +275,12 @@ type jsonInstance struct {
 	Sized [][]int64 `json:"sized,omitempty"`
 }
 
-// MarshalJSON encodes the instance with an explicit kind tag.
+// MarshalJSON encodes the instance with an explicit kind tag. The
+// encoding is deterministic — equal instances marshal to identical
+// bytes — and round-trips exactly through UnmarshalJSON, so a canonical
+// instance (see Canonical) stays canonical across encode/decode and two
+// rotated/reflected copies of one instance marshal to identical bytes
+// once canonicalized.
 func (in Instance) MarshalJSON() ([]byte, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -285,7 +308,7 @@ func (in *Instance) UnmarshalJSON(data []byte) error {
 	case "sized":
 		*in = Instance{M: j.M, Sized: j.Sized}
 	default:
-		return fmt.Errorf("instance: unknown kind %q", j.Kind)
+		return invalidf("instance: unknown kind %q", j.Kind)
 	}
 	return in.Validate()
 }

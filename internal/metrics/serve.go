@@ -1,0 +1,97 @@
+package metrics
+
+import "sync/atomic"
+
+// ServeStats counts the serving layer's request and cache activity, in
+// the same style as SolverStats: process-wide atomic counters that the
+// ringserve daemon republishes via expvar and /v1/statusz. One block is
+// shared by every handler goroutine, so hit rates stay consistent under
+// concurrent load.
+type ServeStats struct {
+	requests   atomic.Int64 // API requests accepted for processing
+	cacheHits  atomic.Int64 // responses served from the result cache
+	cacheMiss  atomic.Int64 // responses computed and inserted
+	evictions  atomic.Int64 // cache entries evicted by LRU pressure
+	rejected   atomic.Int64 // requests refused with 429 (queue full)
+	canceled   atomic.Int64 // requests abandoned by deadline/cancel
+	panicked   atomic.Int64 // worker panics isolated to one request
+	badRequest atomic.Int64 // malformed requests refused with 4xx
+}
+
+// Serve is the process-wide serving stats block fed by internal/serve.
+var Serve ServeStats
+
+// Request records one accepted API request.
+func (s *ServeStats) Request() { s.requests.Add(1) }
+
+// CacheHit records a response served from the canonical result cache.
+func (s *ServeStats) CacheHit() { s.cacheHits.Add(1) }
+
+// CacheMiss records a response computed because the cache had no entry.
+func (s *ServeStats) CacheMiss() { s.cacheMiss.Add(1) }
+
+// Eviction records one cache entry displaced by LRU pressure.
+func (s *ServeStats) Eviction() { s.evictions.Add(1) }
+
+// Rejected records a request refused with 429 because the queue was full.
+func (s *ServeStats) Rejected() { s.rejected.Add(1) }
+
+// Canceled records a request abandoned because its deadline expired or
+// its client went away before a result was produced.
+func (s *ServeStats) Canceled() { s.canceled.Add(1) }
+
+// Panicked records a worker panic contained to a single request.
+func (s *ServeStats) Panicked() { s.panicked.Add(1) }
+
+// BadRequest records a request refused for being malformed or over the
+// admission caps.
+func (s *ServeStats) BadRequest() { s.badRequest.Add(1) }
+
+// ServeSnapshot is a point-in-time copy of the serving counters.
+type ServeSnapshot struct {
+	Requests    int64 `json:"requests"`
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	Evictions   int64 `json:"evictions"`
+	Rejected    int64 `json:"rejected"`
+	Canceled    int64 `json:"canceled"`
+	Panics      int64 `json:"panics"`
+	BadRequests int64 `json:"badRequests"`
+}
+
+// HitRate returns the cache hit fraction (0 when nothing was looked up).
+func (s ServeSnapshot) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Snapshot returns the current counter values.
+func (s *ServeStats) Snapshot() ServeSnapshot {
+	return ServeSnapshot{
+		Requests:    s.requests.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		CacheMisses: s.cacheMiss.Load(),
+		Evictions:   s.evictions.Load(),
+		Rejected:    s.rejected.Load(),
+		Canceled:    s.canceled.Load(),
+		Panics:      s.panicked.Load(),
+		BadRequests: s.badRequest.Load(),
+	}
+}
+
+// Sub returns the counter deltas accumulated since an earlier snapshot.
+func (a ServeSnapshot) Sub(b ServeSnapshot) ServeSnapshot {
+	return ServeSnapshot{
+		Requests:    a.Requests - b.Requests,
+		CacheHits:   a.CacheHits - b.CacheHits,
+		CacheMisses: a.CacheMisses - b.CacheMisses,
+		Evictions:   a.Evictions - b.Evictions,
+		Rejected:    a.Rejected - b.Rejected,
+		Canceled:    a.Canceled - b.Canceled,
+		Panics:      a.Panics - b.Panics,
+		BadRequests: a.BadRequests - b.BadRequests,
+	}
+}

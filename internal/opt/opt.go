@@ -27,6 +27,7 @@ package opt
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"ringsched/internal/flow"
@@ -35,6 +36,14 @@ import (
 	"ringsched/internal/metrics"
 	"ringsched/internal/ring"
 )
+
+// ErrLimitExceeded reports that a computation was refused or degraded
+// because it exceeded a configured limit: callers that need an exact
+// optimum (internal/serve's require_exact, for one) wrap it when a
+// Result comes back with Exact=false, and the serving layer also wraps
+// it for requests larger than its admission caps. The root package
+// re-exports it as ringsched.ErrLimitExceeded.
+var ErrLimitExceeded = errors.New("limit exceeded")
 
 // Result is a solved (or bounded) optimum.
 type Result struct {

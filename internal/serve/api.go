@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"ringsched/internal/instance"
+	"ringsched/internal/opt"
+	"ringsched/internal/sim"
+)
+
+// Schema identifies the serving API's JSON response format.
+const Schema = "ringsched.serve/v1"
+
+// ScheduleRequest is the body of POST /v1/schedule.
+type ScheduleRequest struct {
+	// Instance is the scheduling problem, in the same JSON form ringgen
+	// emits. The server canonicalizes it before running: results are
+	// reported for the rotation/reflection-minimal relabeling, so every
+	// dihedral copy of one instance gets a byte-identical response.
+	Instance instance.Instance `json:"instance"`
+	// Algorithm is one of A1, B1, C1, A2, B2, C2, "cap" (the §7
+	// unit-capacity-link algorithm) or "online" (the dynamic-arrival
+	// diffusion algorithm; see Arrivals).
+	Algorithm string `json:"algorithm"`
+	// Options tune the run; the zero value is a plain sequential run.
+	Options ScheduleReqOptions `json:"options"`
+	// Arrivals, for algorithm "online" only, adds batches released
+	// after time 0 on top of the instance's time-0 jobs. Requests with
+	// arrivals are cached by their exact form (arrival processor
+	// indices break the rotation symmetry).
+	Arrivals []ArrivalBatch `json:"arrivals,omitempty"`
+}
+
+// ScheduleReqOptions mirror the engine options a client may set.
+type ScheduleReqOptions struct {
+	// MaxSteps aborts runaway runs; 0 uses the engine default.
+	MaxSteps int64 `json:"maxSteps,omitempty"`
+	// Distributed runs the goroutine-per-processor runtime instead of
+	// the sequential engine (same schedule, truly concurrent execution).
+	Distributed bool `json:"distributed,omitempty"`
+	// TimeoutMs bounds this request's compute time; 0 (and anything
+	// larger) uses the server's RequestTimeout.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// Bidirectional selects the online algorithm's two-direction rule.
+	Bidirectional bool `json:"bidirectional,omitempty"`
+}
+
+// ArrivalBatch is one online release: count unit jobs appearing on
+// processor proc at the start of step t.
+type ArrivalBatch struct {
+	T     int64 `json:"t"`
+	Proc  int   `json:"proc"`
+	Count int64 `json:"count"`
+}
+
+// ScheduleResponse is the body of a successful /v1/schedule call. All
+// quantities refer to the canonical relabeling of the instance (which
+// changes nothing aggregate: the model is rotation/reflection
+// invariant). Whether the response came from the cache is reported out
+// of band in the X-Ringserve-Cache header, so cached and freshly
+// computed bodies are byte-identical.
+type ScheduleResponse struct {
+	Schema      string  `json:"schema"`
+	Fingerprint string  `json:"fingerprint"`
+	Algorithm   string  `json:"algorithm"`
+	Makespan    int64   `json:"makespan"`
+	Steps       int64   `json:"steps"`
+	JobHops     int64   `json:"jobHops"`
+	Messages    int64   `json:"messages"`
+	LowerBound  int64   `json:"lowerBound"`
+	Utilization float64 `json:"utilization,omitempty"`
+	// MaxFlowTime is set for algorithm "online" only.
+	MaxFlowTime int64 `json:"maxFlowTime,omitempty"`
+}
+
+// OptimalRequest is the body of POST /v1/optimal.
+type OptimalRequest struct {
+	Instance instance.Instance `json:"instance"`
+	// Capacitated selects the §7 unit-capacity-link optimum.
+	Capacitated bool `json:"capacitated,omitempty"`
+	// Limits bound the solver; zero values use the solver defaults.
+	Limits OptimalLimits `json:"limits"`
+	// RequireExact makes a lower-bound fallback an error (HTTP 422
+	// wrapping ErrLimitExceeded) instead of an exact=false response.
+	RequireExact bool `json:"requireExact,omitempty"`
+}
+
+// OptimalLimits mirror opt.Limits on the wire.
+type OptimalLimits struct {
+	MaxArcs    int   `json:"maxArcs,omitempty"`
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
+	UpperHint  int64 `json:"upperHint,omitempty"`
+}
+
+// OptimalResponse is the body of a successful /v1/optimal call.
+type OptimalResponse struct {
+	Schema      string `json:"schema"`
+	Fingerprint string `json:"fingerprint"`
+	Length      int64  `json:"length"`
+	Exact       bool   `json:"exact"`
+	Method      string `json:"method"`
+	FlowCalls   int    `json:"flowCalls"`
+}
+
+// CompareRequest is the body of POST /v1/compare: the Table-1 ratio for
+// one instance — run the named algorithms, solve for the optimum, and
+// score each algorithm against it.
+type CompareRequest struct {
+	Instance   instance.Instance `json:"instance"`
+	Algorithms []string          `json:"algorithms,omitempty"` // default: all six of §6
+	Limits     OptimalLimits     `json:"limits"`
+	TimeoutMs  int64             `json:"timeoutMs,omitempty"`
+}
+
+// CompareRun is one algorithm's line in a CompareResponse.
+type CompareRun struct {
+	Makespan int64   `json:"makespan"`
+	Factor   float64 `json:"factor"`
+	JobHops  int64   `json:"jobHops"`
+	Messages int64   `json:"messages"`
+}
+
+// CompareResponse is the body of a successful /v1/compare call.
+type CompareResponse struct {
+	Schema      string                `json:"schema"`
+	Fingerprint string                `json:"fingerprint"`
+	Opt         OptimalResponse       `json:"opt"`
+	Runs        map[string]CompareRun `json:"runs"`
+	Best        string                `json:"best"`
+}
+
+// apiError is the uniform error envelope: {"error":{"code","message"}}.
+type apiError struct {
+	Error apiErrorBody `json:"error"`
+}
+
+type apiErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorCode maps an error chain onto a wire code via the exported
+// sentinels — the reason the public surface grew typed errors.
+func errorCode(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, instance.ErrInvalid):
+		return http.StatusBadRequest, "invalid_instance"
+	case errors.Is(err, errBadRequest):
+		return http.StatusBadRequest, "invalid_request"
+	case errors.Is(err, errQueueFull):
+		return http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, opt.ErrLimitExceeded):
+		return http.StatusUnprocessableEntity, "limit_exceeded"
+	case errors.Is(err, sim.ErrNotQuiescent):
+		return http.StatusUnprocessableEntity, "step_limit"
+	case errors.Is(err, sim.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "canceled"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// errBadRequest marks malformed request bodies (as opposed to malformed
+// instances, which wrap instance.ErrInvalid).
+var errBadRequest = errors.New("serve: bad request")
+
+// errQueueFull marks admission rejection; the handler adds Retry-After.
+var errQueueFull = errors.New("serve: compute queue full")
+
+// admissible rejects instances over the server's serving caps with an
+// error wrapping opt.ErrLimitExceeded (HTTP 413 territory; we use 422's
+// sibling mapping via limit_exceeded but with the dedicated status).
+func (s *Server) admissible(in instance.Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if in.M > s.cfg.MaxM {
+		return fmt.Errorf("serve: ring size %d over the serving cap %d: %w",
+			in.M, s.cfg.MaxM, opt.ErrLimitExceeded)
+	}
+	if w := in.TotalWork(); w > s.cfg.MaxTotalWork {
+		return fmt.Errorf("serve: total work %d over the serving cap %d: %w",
+			w, s.cfg.MaxTotalWork, opt.ErrLimitExceeded)
+	}
+	return nil
+}
+
+// normalizeAlgorithms validates and defaults a compare request's
+// algorithm list.
+func normalizeAlgorithms(names []string) ([]string, error) {
+	if len(names) == 0 {
+		return []string{"A1", "B1", "C1", "A2", "B2", "C2"}, nil
+	}
+	for _, n := range names {
+		switch n {
+		case "A1", "B1", "C1", "A2", "B2", "C2":
+		default:
+			return nil, fmt.Errorf("%w: unknown algorithm %q", errBadRequest, n)
+		}
+	}
+	return names, nil
+}
+
+// optKey renders solver limits into a cache-key fragment.
+func optKey(l OptimalLimits) string {
+	return fmt.Sprintf("arcs=%d|dl=%d|hint=%d", l.MaxArcs, l.DeadlineMs, l.UpperHint)
+}
+
+// arrivalsKey renders an arrival list into a cache-key fragment ("-"
+// when empty).
+func arrivalsKey(arr []ArrivalBatch) string {
+	if len(arr) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for _, a := range arr {
+		fmt.Fprintf(&b, "%d@%d:%d;", a.Count, a.Proc, a.T)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"ringsched/internal/metrics"
+)
+
+// pool is the bounded compute pool behind the API handlers: a fixed set
+// of worker goroutines draining a bounded queue. Handlers submit
+// closures with trySubmit, which never blocks — when the queue is full
+// the request is refused so the HTTP layer can answer 429 + Retry-After
+// instead of letting latency collapse under overload (backpressure at
+// admission, not at the socket).
+//
+// Each task runs under a per-request panic guard: a panicking
+// computation poisons only its own request (the worker survives and the
+// handler gets an error), never the daemon.
+type pool struct {
+	queue chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// newPool starts `workers` goroutines over a queue of depth `depth`.
+func newPool(workers, depth int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &pool{queue: make(chan func(), depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.queue {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// trySubmit enqueues task without blocking; false means the queue is
+// full (or the pool is draining) and the caller should shed the load.
+func (p *pool) trySubmit(task func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- task:
+		return true
+	default:
+		return false
+	}
+}
+
+// drain stops admission, lets the workers finish every queued task, and
+// returns when the last worker has exited. The RWMutex handshake makes
+// close(queue) safe: no trySubmit can be between its closed-check and
+// its send while the write lock is held.
+func (p *pool) drain() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// guard wraps a computation in per-request panic isolation: the
+// recovered panic comes back as an error instead of unwinding a worker.
+func guard(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			metrics.Serve.Panicked()
+			err = fmt.Errorf("serve: request panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return f()
+}

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ringsched/internal/instance"
+	"ringsched/internal/metrics"
+	"ringsched/internal/workload"
+)
+
+// SelfTestOptions tune the built-in load generator.
+type SelfTestOptions struct {
+	// Requests is the total request count; 0 means 400.
+	Requests int
+	// Clients is the number of concurrent load goroutines; 0 means 8.
+	Clients int
+	// Seed seeds the zipf instance picker and the random rotations.
+	Seed int64
+}
+
+func (o SelfTestOptions) withDefaults() SelfTestOptions {
+	if o.Requests <= 0 {
+		o.Requests = 400
+	}
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	return o
+}
+
+// SelfTest stands the daemon up on a loopback listener and replays a
+// zipf-skewed mix of paper-suite instances against /v1/schedule, each
+// request a random rotation or reflection of its base instance. It
+// reports throughput, p50/p99 latency and cache hit-rate to out, then
+// verifies the serving layer's two core claims before a clean drain:
+//
+//   - symmetry: every response body for one (instance, algorithm) pair
+//     is byte-identical regardless of which dihedral copy was sent;
+//   - caching: the canonical cache absorbs the zipf head, so the
+//     hit-rate over the run is at least 50%.
+func SelfTest(cfg Config, opts SelfTestOptions, out io.Writer) error {
+	opts = opts.withDefaults()
+	s := New(cfg)
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// The instance mix: small/medium unit cases from the paper suite
+	// (sized cases are valid too but make weaker cache fodder — the
+	// zipf head is what exercises hit paths).
+	var mix []workload.Case
+	for _, c := range workload.Suite() {
+		if c.In.IsUnit() && c.In.M <= 512 {
+			mix = append(mix, c)
+		}
+	}
+	if len(mix) == 0 {
+		cancel()
+		<-serveDone
+		return fmt.Errorf("serve: selftest found no unit cases in the paper suite")
+	}
+	algs := []string{"A1", "B1", "C1", "A2", "B2", "C2"}
+
+	type sample struct {
+		latency time.Duration
+		hit     bool
+	}
+	var (
+		mu        sync.Mutex
+		samples   []sample
+		bodies    = map[string][]byte{} // (case,alg) -> first body seen
+		mismatch  error
+		transport = &http.Transport{MaxIdleConnsPerHost: opts.Clients}
+	)
+	client := &http.Client{Transport: transport}
+	before := metrics.Serve.Snapshot()
+
+	// Zipf over the case mix: rank-skewed popularity, exponent 1.7 — a
+	// hot head over a long tail, the workload shape a result cache is
+	// for. Each client gets its own derived rng (math/rand sources are
+	// not concurrency-safe).
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(id)*7919))
+			zipf := rand.NewZipf(rng, 1.7, 1, uint64(len(mix)-1))
+			for range work {
+				cs := mix[int(zipf.Uint64())]
+				alg := algs[rng.Intn(len(algs))]
+				in := dihedralCopy(cs.In, rng)
+				body, hit, lat, err := postSchedule(client, base, in, alg)
+				mu.Lock()
+				if err != nil && mismatch == nil {
+					mismatch = err
+				}
+				if err == nil {
+					samples = append(samples, sample{latency: lat, hit: hit})
+					k := cs.ID + "|" + alg
+					if prev, ok := bodies[k]; !ok {
+						bodies[k] = body
+					} else if !bytes.Equal(prev, body) && mismatch == nil {
+						mismatch = fmt.Errorf("serve: selftest: %s responses differ across dihedral copies", k)
+					}
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	for i := 0; i < opts.Requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Drain: cancel the serve context mid-steady-state and require the
+	// graceful path to complete.
+	cancel()
+	if err := <-serveDone; err != nil {
+		return fmt.Errorf("serve: selftest drain: %w", err)
+	}
+
+	if mismatch != nil {
+		return mismatch
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("serve: selftest produced no successful requests")
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].latency < samples[j].latency })
+	hits := 0
+	for _, s := range samples {
+		if s.hit {
+			hits++
+		}
+	}
+	hitRate := float64(hits) / float64(len(samples))
+	p50 := samples[len(samples)/2].latency
+	p99 := samples[(len(samples)*99)/100].latency
+	delta := metrics.Serve.Snapshot().Sub(before)
+
+	fmt.Fprintf(out, "ringserve selftest: %d requests, %d clients, %d cases x %d algorithms\n",
+		len(samples), opts.Clients, len(mix), len(algs))
+	fmt.Fprintf(out, "  throughput  %.0f req/s (%.2fs wall)\n",
+		float64(len(samples))/elapsed.Seconds(), elapsed.Seconds())
+	fmt.Fprintf(out, "  latency     p50 %s  p99 %s\n", p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+	fmt.Fprintf(out, "  cache       hit-rate %.1f%% (%d hits, %d misses, %d evictions)\n",
+		100*hitRate, delta.CacheHits, delta.CacheMisses, delta.Evictions)
+	fmt.Fprintf(out, "  rejected    %d  canceled %d  panics %d\n",
+		delta.Rejected, delta.Canceled, delta.Panics)
+
+	if hitRate < 0.5 {
+		return fmt.Errorf("serve: selftest hit-rate %.1f%% below the 50%% bar", 100*hitRate)
+	}
+	fmt.Fprintf(out, "  drain       clean\n")
+	return nil
+}
+
+// dihedralCopy returns a random rotation — reflected half the time — of
+// in, exercising the canonicalizer on every request.
+func dihedralCopy(in instance.Instance, rng *rand.Rand) instance.Instance {
+	out := in.Rotate(rng.Intn(in.M))
+	if rng.Intn(2) == 1 {
+		out = out.Reflect()
+	}
+	return out
+}
+
+// postSchedule issues one /v1/schedule call and reports the body, the
+// cache verdict and the request latency.
+func postSchedule(client *http.Client, base string, in instance.Instance, alg string) (body []byte, hit bool, lat time.Duration, err error) {
+	reqBody, err := json.Marshal(ScheduleRequest{Instance: in, Algorithm: alg})
+	if err != nil {
+		return nil, false, 0, err
+	}
+	start := time.Now()
+	resp, err := client.Post(base+"/v1/schedule", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, false, 0, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	lat = time.Since(start)
+	if err != nil {
+		return nil, false, lat, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// Backpressure is correct behavior under a burst; retry once
+		// after the advertised pause rather than failing the run.
+		time.Sleep(50 * time.Millisecond)
+		return postSchedule(client, base, in, alg)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, lat, fmt.Errorf("serve: selftest: %s on %s: %s", resp.Status, alg, bytes.TrimSpace(body))
+	}
+	return body, resp.Header.Get("X-Ringserve-Cache") == "hit", lat, nil
+}

@@ -1,0 +1,597 @@
+// Package serve is the scheduling-as-a-service layer: a long-running
+// HTTP/JSON daemon exposing the ring model behind four endpoints —
+// POST /v1/schedule (any §6/§7/online algorithm), POST /v1/optimal
+// (the exact solver under limits), POST /v1/compare (algorithms scored
+// against the optimum) and GET /v1/healthz, /v1/statusz.
+//
+// The hot path exploits the model's dihedral symmetry: every incoming
+// instance is canonicalized (rotation/reflection-minimal relabeling,
+// see instance.Canonical) before compute, and results are cached under
+// the canonical fingerprint. Two requests for the same ring up to
+// rotation or reflection therefore share one cache entry and receive
+// byte-identical response bodies; only the X-Ringserve-Cache header
+// (hit|miss) differs. Compute runs on a bounded worker pool with
+// non-blocking admission — a full queue answers 429 + Retry-After
+// instead of queueing unboundedly — per-request deadlines, and panic
+// isolation, and the daemon drains gracefully on context cancellation.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"ringsched/internal/bucket"
+	"ringsched/internal/capring"
+	"ringsched/internal/dist"
+	"ringsched/internal/instance"
+	"ringsched/internal/lb"
+	"ringsched/internal/metrics"
+	"ringsched/internal/online"
+	"ringsched/internal/opt"
+	"ringsched/internal/sim"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production default.
+type Config struct {
+	// Workers is the compute pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds queued-but-unstarted requests; 0 means
+	// 4×Workers. A full queue sheds load with 429 + Retry-After.
+	QueueDepth int
+	// CacheEntries is the result cache capacity; 0 means 4096.
+	CacheEntries int
+	// CacheShards is the cache's lock-sharding factor; 0 means 16.
+	CacheShards int
+	// RequestTimeout caps any single request's compute time; 0 means
+	// 30s. Per-request timeoutMs values may shorten it, never extend.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown's wait for in-flight
+	// requests; 0 means 30s.
+	DrainTimeout time.Duration
+	// MaxM caps admissible ring sizes; 0 means 100 000.
+	MaxM int
+	// MaxTotalWork caps admissible total work; 0 means 10 000 000.
+	MaxTotalWork int64
+	// MaxBody caps request body size; 0 means 8 MiB.
+	MaxBody int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.MaxM <= 0 {
+		c.MaxM = 100_000
+	}
+	if c.MaxTotalWork <= 0 {
+		c.MaxTotalWork = 10_000_000
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 8 << 20
+	}
+	return c
+}
+
+// Server is one ringserve daemon instance: handlers, compute pool and
+// result cache. Create it with New; it is safe for concurrent use.
+type Server struct {
+	cfg   Config
+	pool  *pool
+	cache *cache
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// expvarOnce guards the process-wide expvar name (Publish panics on
+// duplicates; tests build many Servers).
+var expvarOnce sync.Once
+
+// New builds a Server from cfg (zero fields defaulted) and starts its
+// worker pool. Callers that never Serve should still let drain run via
+// Serve/Close semantics — in tests, use httptest with s.Handler() and
+// call s.drainPool via Serve's path or simply leak the pool until exit.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  newPool(cfg.Workers, cfg.QueueDepth),
+		cache: newCache(cfg.CacheEntries, cfg.CacheShards),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("/v1/optimal", s.handleOptimal)
+	s.mux.HandleFunc("/v1/compare", s.handleCompare)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/statusz", s.handleStatusz)
+	expvarOnce.Do(func() {
+		expvar.Publish("ringserve", expvar.Func(func() any {
+			return metrics.Serve.Snapshot()
+		}))
+	})
+	return s
+}
+
+// Handler returns the daemon's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the compute pool: admission stops, queued work finishes,
+// workers exit. Idempotent.
+func (s *Server) Close() { s.pool.drain() }
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts
+// down gracefully: stop accepting, let in-flight requests finish
+// (bounded by DrainTimeout), drain the compute pool, return nil. A
+// non-graceful listener error is returned as-is.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		done <- srv.Shutdown(shCtx)
+	}()
+	err := srv.Serve(ln)
+	if !errors.Is(err, http.ErrServerClosed) {
+		s.pool.drain()
+		return err
+	}
+	shErr := <-done
+	s.pool.drain()
+	return shErr
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Addr is a helper for callers that want the bound address before
+// serving: it returns a started listener on addr (":0" for ephemeral).
+func Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// ---- request plumbing ----
+
+// decode reads a JSON body into v under the body-size cap.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		if errors.Is(err, instance.ErrInvalid) {
+			// Instance validation happens inside UnmarshalJSON; keep
+			// that sentinel visible so the 400 carries invalid_instance.
+			return err
+		}
+		return fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return nil
+}
+
+// writeJSON marshals body (appending a newline) and writes it with the
+// given cache-status header. The returned bytes are what went on the
+// wire — the caller caches them for future byte-identical hits.
+func writeJSON(w http.ResponseWriter, status int, cacheStatus string, body any) []byte {
+	b, err := json.Marshal(body)
+	if err != nil {
+		// Response types marshal by construction; treat failure as 500.
+		http.Error(w, `{"error":{"code":"internal","message":"marshal failure"}}`, http.StatusInternalServerError)
+		return nil
+	}
+	b = append(b, '\n')
+	writeRaw(w, status, cacheStatus, b)
+	return b
+}
+
+func writeRaw(w http.ResponseWriter, status int, cacheStatus string, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if cacheStatus != "" {
+		w.Header().Set("X-Ringserve-Cache", cacheStatus)
+	}
+	w.WriteHeader(status)
+	w.Write(b)
+}
+
+// writeError maps err onto the HTTP plane via the exported sentinels.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := errorCode(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+		metrics.Serve.Rejected()
+	} else if status >= 400 && status < 500 {
+		metrics.Serve.BadRequest()
+	}
+	writeJSON(w, status, "", apiError{Error: apiErrorBody{Code: code, Message: err.Error()}})
+}
+
+// timeout clamps a per-request timeoutMs to the server cap.
+func (s *Server) timeout(ms int64) time.Duration {
+	d := s.cfg.RequestTimeout
+	if ms > 0 {
+		if req := time.Duration(ms) * time.Millisecond; req < d {
+			d = req
+		}
+	}
+	return d
+}
+
+// respond is the shared miss path: check the cache under key, otherwise
+// run compute on the worker pool under a deadline and cache the
+// marshaled body. compute must be pure in the request (it runs on a
+// worker goroutine) and should honor ctx.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, key string, timeoutMs int64, compute func(ctx context.Context) (any, error)) {
+	metrics.Serve.Request()
+	if body, ok := s.cache.get(key); ok {
+		writeRaw(w, http.StatusOK, "hit", body)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(timeoutMs))
+	defer cancel()
+
+	type outcome struct {
+		body any
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	ok := s.pool.trySubmit(func() {
+		if ctx.Err() != nil {
+			// The client gave up while we sat in the queue; don't burn
+			// a worker on a response nobody reads.
+			ch <- outcome{err: ctx.Err()}
+			return
+		}
+		var o outcome
+		o.err = guard(func() error {
+			var err error
+			o.body, err = compute(ctx)
+			return err
+		})
+		ch <- o
+	})
+	if !ok {
+		writeError(w, errQueueFull)
+		return
+	}
+	select {
+	case <-ctx.Done():
+		metrics.Serve.Canceled()
+		writeError(w, ctx.Err())
+	case o := <-ch:
+		if o.err != nil {
+			if errors.Is(o.err, context.Canceled) || errors.Is(o.err, context.DeadlineExceeded) || errors.Is(o.err, sim.ErrCanceled) {
+				metrics.Serve.Canceled()
+			}
+			writeError(w, o.err)
+			return
+		}
+		if body := writeJSON(w, http.StatusOK, "miss", o.body); body != nil {
+			s.cache.put(key, body)
+		}
+	}
+}
+
+// ---- endpoints ----
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, fmt.Errorf("%w: use POST", errBadRequest))
+		return
+	}
+	var req ScheduleRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.admissible(req.Instance); err != nil {
+		writeError(w, err)
+		return
+	}
+	switch req.Algorithm {
+	case "A1", "B1", "C1", "A2", "B2", "C2", "cap", "online":
+	default:
+		writeError(w, fmt.Errorf("%w: unknown algorithm %q", errBadRequest, req.Algorithm))
+		return
+	}
+	if len(req.Arrivals) > 0 && req.Algorithm != "online" {
+		writeError(w, fmt.Errorf("%w: arrivals require algorithm \"online\"", errBadRequest))
+		return
+	}
+	if req.Options.Distributed && (req.Algorithm == "cap" || req.Algorithm == "online") {
+		writeError(w, fmt.Errorf("%w: distributed runs support A1..C2 only", errBadRequest))
+		return
+	}
+
+	// The cache identity. Without arrivals the rotation/reflection
+	// symmetry holds, so the canonical fingerprint is the identity and
+	// compute runs on the canonical copy (making cached and fresh
+	// bodies byte-identical across all dihedral copies). Arrival
+	// processor indices break the symmetry, so those requests are keyed
+	// and computed on their exact form.
+	can := req.Instance.Canonical()
+	fp := can.Fingerprint()
+	runOn := can
+	ident := fp.String()
+	if len(req.Arrivals) > 0 {
+		runOn = req.Instance
+		raw, _ := json.Marshal(req.Instance)
+		sum := sha256.Sum256(append(raw, []byte(arrivalsKey(req.Arrivals))...))
+		ident = fmt.Sprintf("exact-%x", sum)
+	}
+	key := fmt.Sprintf("schedule|%s|%s|steps=%d|dist=%t|bidir=%t",
+		ident, req.Algorithm, req.Options.MaxSteps, req.Options.Distributed, req.Options.Bidirectional)
+
+	s.respond(w, r, key, req.Options.TimeoutMs, func(ctx context.Context) (any, error) {
+		return s.computeSchedule(ctx, runOn, fp, req)
+	})
+}
+
+func (s *Server) computeSchedule(ctx context.Context, in instance.Instance, fp instance.Fingerprint, req ScheduleRequest) (any, error) {
+	resp := ScheduleResponse{
+		Schema:      Schema,
+		Fingerprint: fp.String(),
+		Algorithm:   req.Algorithm,
+	}
+	switch req.Algorithm {
+	case "cap":
+		opts := capring.Options()
+		opts.MaxSteps = req.Options.MaxSteps
+		opts.Ctx = ctx
+		res, err := sim.Run(in, capring.Algorithm{}, opts)
+		if err != nil {
+			return nil, err
+		}
+		resp.Makespan, resp.Steps = res.Makespan, res.Steps
+		resp.JobHops, resp.Messages = res.JobHops, res.Messages
+		resp.Utilization = res.Utilization()
+		resp.LowerBound = lb.Capacitated(in)
+	case "online":
+		oin, err := onlineInstance(in, req.Arrivals)
+		if err != nil {
+			return nil, err
+		}
+		res, err := online.Run(oin, online.Params{Bidirectional: req.Options.Bidirectional})
+		if err != nil {
+			return nil, err
+		}
+		resp.Makespan, resp.Steps, resp.JobHops = res.Makespan, res.Steps, res.JobHops
+		resp.MaxFlowTime = res.MaxFlowTime
+		resp.LowerBound = online.LowerBound(oin)
+	default:
+		spec, err := bucket.ByName(req.Algorithm)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		if req.Options.Distributed {
+			res, err := dist.RunContext(ctx, in, spec, dist.Options{MaxSteps: req.Options.MaxSteps})
+			if err != nil {
+				return nil, err
+			}
+			resp.Makespan, resp.Steps = res.Makespan, res.Steps
+			resp.JobHops, resp.Messages = res.JobHops, res.Messages
+		} else {
+			res, err := sim.Run(in, spec, sim.Options{MaxSteps: req.Options.MaxSteps, Ctx: ctx})
+			if err != nil {
+				return nil, err
+			}
+			resp.Makespan, resp.Steps = res.Makespan, res.Steps
+			resp.JobHops, resp.Messages = res.JobHops, res.Messages
+			resp.Utilization = res.Utilization()
+		}
+		resp.LowerBound = lb.Best(in)
+	}
+	return resp, nil
+}
+
+// onlineInstance lifts a static instance plus arrival batches into the
+// online model's form (time-0 batches from the instance's unit works).
+func onlineInstance(in instance.Instance, arrivals []ArrivalBatch) (online.Instance, error) {
+	if !in.IsUnit() {
+		return online.Instance{}, fmt.Errorf("%w: algorithm \"online\" requires a unit-job instance", errBadRequest)
+	}
+	var batches []online.Batch
+	for i, n := range in.Unit {
+		if n > 0 {
+			batches = append(batches, online.Batch{Time: 0, Proc: i, Count: n})
+		}
+	}
+	for _, a := range arrivals {
+		batches = append(batches, online.Batch{Time: a.T, Proc: a.Proc, Count: a.Count})
+	}
+	oin, err := online.NewInstance(in.M, batches)
+	if err != nil {
+		return online.Instance{}, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return oin, nil
+}
+
+func (s *Server) handleOptimal(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, fmt.Errorf("%w: use POST", errBadRequest))
+		return
+	}
+	var req OptimalRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.admissible(req.Instance); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !req.Instance.IsUnit() {
+		writeError(w, fmt.Errorf("%w: the exact solver requires a unit-job instance", errBadRequest))
+		return
+	}
+	can := req.Instance.Canonical()
+	fp := can.Fingerprint()
+	key := fmt.Sprintf("optimal|%s|cap=%t|%s|exact=%t",
+		fp.String(), req.Capacitated, optKey(req.Limits), req.RequireExact)
+
+	s.respond(w, r, key, req.Limits.DeadlineMs, func(ctx context.Context) (any, error) {
+		resp, err := solveOptimal(ctx, can, fp, req.Capacitated, req.Limits)
+		if err != nil {
+			return nil, err
+		}
+		if req.RequireExact && !resp.Exact {
+			return nil, fmt.Errorf("serve: solver fell back to the %s lower bound %d under the given limits: %w",
+				resp.Method, resp.Length, opt.ErrLimitExceeded)
+		}
+		return resp, nil
+	})
+}
+
+// solveOptimal runs the exact solver under wire limits plus ctx.
+func solveOptimal(ctx context.Context, can instance.Instance, fp instance.Fingerprint, capacitated bool, l OptimalLimits) (OptimalResponse, error) {
+	lim := opt.Limits{
+		MaxArcs:   l.MaxArcs,
+		UpperHint: l.UpperHint,
+		Ctx:       ctx,
+	}
+	if l.DeadlineMs > 0 {
+		lim.Deadline = time.Duration(l.DeadlineMs) * time.Millisecond
+	}
+	var res opt.Result
+	if capacitated {
+		res = opt.Capacitated(can, lim)
+	} else {
+		res = opt.Uncapacitated(can, lim)
+	}
+	return OptimalResponse{
+		Schema:      Schema,
+		Fingerprint: fp.String(),
+		Length:      res.Length,
+		Exact:       res.Exact,
+		Method:      res.Method,
+		FlowCalls:   res.FlowCalls,
+	}, nil
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, fmt.Errorf("%w: use POST", errBadRequest))
+		return
+	}
+	var req CompareRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.admissible(req.Instance); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !req.Instance.IsUnit() {
+		writeError(w, fmt.Errorf("%w: compare needs the exact solver, which requires a unit-job instance", errBadRequest))
+		return
+	}
+	algs, err := normalizeAlgorithms(req.Algorithms)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	can := req.Instance.Canonical()
+	fp := can.Fingerprint()
+	key := fmt.Sprintf("compare|%s|algs=%v|%s", fp.String(), algs, optKey(req.Limits))
+
+	s.respond(w, r, key, req.TimeoutMs, func(ctx context.Context) (any, error) {
+		optResp, err := solveOptimal(ctx, can, fp, false, req.Limits)
+		if err != nil {
+			return nil, err
+		}
+		resp := CompareResponse{
+			Schema:      Schema,
+			Fingerprint: fp.String(),
+			Opt:         optResp,
+			Runs:        make(map[string]CompareRun, len(algs)),
+		}
+		var bestSpan int64 = -1
+		for _, name := range algs {
+			spec, err := bucket.ByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+			}
+			res, err := sim.Run(can, spec, sim.Options{Ctx: ctx})
+			if err != nil {
+				return nil, err
+			}
+			run := CompareRun{
+				Makespan: res.Makespan,
+				JobHops:  res.JobHops,
+				Messages: res.Messages,
+			}
+			if optResp.Length > 0 {
+				run.Factor = float64(res.Makespan) / float64(optResp.Length)
+			}
+			resp.Runs[name] = run
+			if bestSpan < 0 || res.Makespan < bestSpan {
+				bestSpan = res.Makespan
+				resp.Best = name
+			}
+		}
+		return resp, nil
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+// statuszResponse is the live counter dump behind GET /v1/statusz.
+type statuszResponse struct {
+	Schema       string                `json:"schema"`
+	UptimeSec    float64               `json:"uptimeSec"`
+	Workers      int                   `json:"workers"`
+	QueueLen     int                   `json:"queueLen"`
+	QueueDepth   int                   `json:"queueDepth"`
+	CacheEntries int                   `json:"cacheEntries"`
+	CacheCap     int                   `json:"cacheCap"`
+	HitRate      float64               `json:"hitRate"`
+	Counters     metrics.ServeSnapshot `json:"counters"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	snap := metrics.Serve.Snapshot()
+	writeJSON(w, http.StatusOK, "", statuszResponse{
+		Schema:       Schema,
+		UptimeSec:    time.Since(s.start).Seconds(),
+		Workers:      s.cfg.Workers,
+		QueueLen:     len(s.pool.queue),
+		QueueDepth:   s.cfg.QueueDepth,
+		CacheEntries: s.cache.len(),
+		CacheCap:     s.cfg.CacheEntries,
+		HitRate:      snap.HitRate(),
+		Counters:     snap,
+	})
+}

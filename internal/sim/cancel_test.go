@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ringsched/internal/instance"
+)
+
+// cancelAtAlg behaves like stayAlg but fires cancel from processor 0's
+// Tick at step `at`, exercising mid-run cancellation of the sequential
+// engine from within a deterministic run.
+type cancelAtAlg struct {
+	at     int64
+	cancel context.CancelFunc
+}
+
+func (cancelAtAlg) Name() string { return "cancel-at" }
+func (a cancelAtAlg) NewNode(local LocalInfo) Node {
+	return &cancelAtNode{stayNode: stayNode{local: local}, alg: a}
+}
+
+type cancelAtNode struct {
+	stayNode
+	alg cancelAtAlg
+}
+
+func (n *cancelAtNode) Tick(ctx Ctx) {
+	if ctx.Me() == 0 && ctx.Now() == n.alg.at {
+		n.alg.cancel()
+	}
+}
+
+func TestRunPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := instance.NewUnit([]int64{10, 0, 0, 0})
+	_, err := Run(in, stayAlg{}, Options{Ctx: ctx})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestRunCanceledMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := instance.NewUnit([]int64{100, 0, 0, 0})
+	res, err := Run(in, cancelAtAlg{at: 5, cancel: cancel}, Options{Ctx: ctx})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// The engine stopped at the step boundary after the cancel fired,
+	// long before the ~100-step schedule finished.
+	if res.Steps == 0 || res.Steps > 10 {
+		t.Errorf("run stopped at %d steps, want shortly after step 5", res.Steps)
+	}
+}
+
+func TestRunNilContextUnaffected(t *testing.T) {
+	in := instance.NewUnit([]int64{10, 0, 0, 0})
+	res, err := Run(in, stayAlg{}, Options{})
+	if err != nil || res.Makespan != 10 {
+		t.Fatalf("clean run: makespan=%d err=%v", res.Makespan, err)
+	}
+}

@@ -24,6 +24,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -128,6 +129,12 @@ type Options struct {
 	// neighbor-directed pool re-homing. Nil means fault-free execution
 	// on the exact pre-fault code path.
 	Faults FaultPlane
+	// Ctx, when non-nil, cancels the run: the engine checks it at every
+	// step boundary and aborts with an error wrapping both ErrCanceled
+	// and the context's own error (so errors.Is matches either) once it
+	// is done. Deadlines work the same way. A nil Ctx costs one pointer
+	// comparison per step.
+	Ctx context.Context
 }
 
 func (o Options) speed() int64 {
@@ -175,7 +182,16 @@ func (r Result) Utilization() float64 {
 var ErrCapacityViolation = errors.New("sim: link capacity exceeded")
 
 // ErrNotQuiescent reports that MaxSteps elapsed with work remaining.
+// The root package re-exports it as ringsched.ErrStepLimit; the
+// concurrent runtime's step-limit failures wrap it too.
 var ErrNotQuiescent = errors.New("sim: simulation did not quiesce within MaxSteps")
+
+// ErrCanceled reports that a run stopped early because its context was
+// canceled or its deadline expired (Options.Ctx / dist.Options.Ctx).
+// Errors wrapping it also wrap the context's own error, so
+// errors.Is(err, context.Canceled) and context.DeadlineExceeded keep
+// working. The root package re-exports it as ringsched.ErrCanceled.
+var ErrCanceled = errors.New("run canceled")
 
 // errLeak reports that a Receive callback dropped job payload (neither
 // deposited nor re-sent), which would silently lose work.
@@ -428,6 +444,11 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 	for t := int64(0); ; t++ {
 		if t > maxSteps {
 			return res, fmt.Errorf("%w (t=%d, alg=%s)", ErrNotQuiescent, t, alg.Name())
+		}
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return res, fmt.Errorf("sim: %w at t=%d (alg=%s): %w", ErrCanceled, t, alg.Name(), err)
+			}
 		}
 
 		// Phase 0 (faults only): crash-stops take effect at the start of

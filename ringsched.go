@@ -65,7 +65,43 @@ import (
 
 // Instance is one scheduling problem: a ring size plus the jobs starting
 // on each processor. Build one with UnitInstance or SizedInstance.
+//
+// The §2 model is invariant under relabeling processor 0 and flipping
+// the ring's orientation, and Instance exposes that symmetry directly:
+// Instance.Canonical returns the rotation/reflection-minimal
+// representative of an instance's equivalence class, and
+// Instance.Fingerprint hashes it into a stable (64-bit + SHA-256)
+// identity — equal exactly for instances that are rotations or
+// reflections of one another. The ringserve daemon's result cache keys
+// on it; Instance.Rotate and Instance.Reflect generate the symmetric
+// copies. Canonical instances round-trip deterministically through
+// JSON: encode(decode(encode(c))) is byte-identical.
 type Instance = instance.Instance
+
+// InstanceFingerprint is the stable content hash Instance.Fingerprint
+// returns: invariant under rotation and reflection of the ring.
+type InstanceFingerprint = instance.Fingerprint
+
+// Exported sentinel errors for the public surface. Every failure of the
+// corresponding kind wraps one of these, whatever engine produced it,
+// so callers dispatch with errors.Is instead of string matching (the
+// ringserve daemon maps them onto HTTP status codes the same way).
+var (
+	// ErrInvalidInstance: a malformed instance (bad ring size, negative
+	// counts, both or neither representation, over the MaxM /
+	// MaxTotalWork caps) from Validate or JSON decoding.
+	ErrInvalidInstance = instance.ErrInvalid
+	// ErrStepLimit: a simulation (either engine) hit MaxSteps without
+	// quiescing. Identical to sim.ErrNotQuiescent.
+	ErrStepLimit = sim.ErrNotQuiescent
+	// ErrCanceled: a run stopped early because Options.Ctx /
+	// DistOptions.Ctx was canceled or its deadline expired. Errors
+	// wrapping it also wrap the context's own error.
+	ErrCanceled = sim.ErrCanceled
+	// ErrLimitExceeded: a computation was refused or degraded because it
+	// exceeded a configured limit (solver budgets, serve admission caps).
+	ErrLimitExceeded = opt.ErrLimitExceeded
+)
 
 // UnitInstance returns an instance with counts[i] unit-size jobs starting
 // on processor i (the paper's basic model, §2).
@@ -118,7 +154,9 @@ type Capacitated = capring.Algorithm
 func CapacitatedOptions() Options { return capring.Options() }
 
 // Options configure a simulation run (link capacity, step limit, trace
-// recording).
+// recording, and — via the Ctx field — cancellation and deadlines:
+// Schedule aborts with an error wrapping ErrCanceled at the next step
+// boundary once the context is done).
 type Options = sim.Options
 
 // Result reports a schedule: makespan, per-processor work, message and
@@ -165,7 +203,8 @@ func MultiCollector(cs ...Collector) Collector { return metrics.Multi(cs...) }
 // DistResult reports a run on the concurrent goroutine runtime.
 type DistResult = dist.Result
 
-// DistOptions configure the concurrent runtime.
+// DistOptions configure the concurrent runtime. The Ctx field cancels a
+// run at the next step barrier (error wraps ErrCanceled).
 type DistOptions = dist.Options
 
 // ScheduleDistributed runs alg with one goroutine per processor and
