@@ -1,0 +1,182 @@
+// Command ringbench records the repository's performance trajectory: it
+// runs a pinned micro+macro benchmark suite — engine step throughput,
+// canonicalization, the exact solver, serving-cache hits and end-to-end
+// schedule latency — and writes one ringsched.bench/v1 point
+// (BENCH_<seq>.json) with the environment fingerprint it ran under.
+//
+// Each run compares itself against the latest committed point and fails
+// (exit 1) when any shared benchmark regressed past the threshold, so
+// CI gates on speed and the committed BENCH_* sequence is the history a
+// re-anchor can read.
+//
+// Examples:
+//
+//	ringbench                         # record BENCH_<next>.json in .
+//	ringbench -short -o /tmp/b.json   # quick CI gate, artifact elsewhere
+//	ringbench -threshold 0.4          # looser gate
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ringsched/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "ringbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("ringbench", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	short := fs.Bool("short", false, "quick mode: ~50ms per benchmark instead of ~300ms (noisier, for CI gates)")
+	dir := fs.String("dir", ".", "directory holding the committed BENCH_<seq>.json trajectory")
+	outPath := fs.String("o", "", "write the new point here instead of <dir>/BENCH_<next>.json")
+	threshold := fs.Float64("threshold", 0.25, "fail when any benchmark is this fraction slower than the baseline (0.25 = +25%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	baseline, basePath, haveBase, err := LatestBenchFile(*dir)
+	if err != nil {
+		return err
+	}
+
+	minTime := 300 * time.Millisecond
+	if *short {
+		minTime = 50 * time.Millisecond
+	}
+
+	point := BenchFile{
+		Schema:    BenchSchema,
+		Seq:       1,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Short:     *short,
+		Env:       currentEnv(),
+	}
+	if haveBase {
+		point.Seq = baseline.Seq + 1
+	}
+
+	benches := append(microSuite(), macroSuite()...)
+	for _, b := range benches {
+		res := b.run(minTime)
+		point.Results = append(point.Results, res)
+		fmt.Fprintf(out, "%-28s %12.0f ns/op  (%d iters)\n", res.Name, res.NsPerOp, res.Iters)
+	}
+
+	path := *outPath
+	if path == "" {
+		path = filepath.Join(*dir, BenchFileName(point.Seq))
+	}
+	if err := WriteBenchFile(path, point); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (seq %d)\n", path, point.Seq)
+
+	if !haveBase {
+		fmt.Fprintf(out, "no committed baseline in %s; regression gate skipped\n", *dir)
+		return nil
+	}
+	if baseline.Env != point.Env {
+		fmt.Fprintf(errw, "note: baseline %s was recorded on a different environment (%+v vs %+v); deltas include hardware\n",
+			basePath, baseline.Env, point.Env)
+	}
+	var regressions int
+	for _, d := range Compare(baseline, point, *threshold) {
+		verdict := "ok"
+		if d.Regression {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(out, "%-28s %12.0f -> %10.0f ns/op  %+6.1f%%  %s\n",
+			d.Name, d.OldNs, d.NewNs, 100*(d.Ratio-1), verdict)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s", regressions, 100**threshold, basePath)
+	}
+	fmt.Fprintf(out, "gate: green vs %s (threshold +%.0f%%)\n", basePath, 100**threshold)
+	return nil
+}
+
+// macroSuite is the serving-layer end of the pinned suite: request
+// latency through the real handler stack (mux, middleware, cache,
+// pool), no network.
+func macroSuite() []benchmark {
+	return []benchmark{
+		{name: "cache_hit/schedule", run: benchCacheHit},
+		{name: "schedule_e2e/C1/m64", run: benchScheduleE2E},
+	}
+}
+
+// newBenchServer builds a small fixed-shape server so results do not
+// depend on the host's core count.
+func newBenchServer() *serve.Server {
+	return serve.New(serve.Config{Workers: 2, QueueDepth: 64, CacheEntries: 8192})
+}
+
+// postJSON drives one request through the handler and panics on any
+// non-200 — a benchmark that stops measuring what it claims to measure
+// must not silently keep producing numbers.
+func postJSON(s *serve.Server, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		panic(fmt.Sprintf("bench request failed: %d %s", w.Code, w.Body.String()))
+	}
+	return w
+}
+
+// benchCacheHit measures the full hit path: mux dispatch, request
+// decode, canonicalize, fingerprint, cache lookup, cached-body write.
+func benchCacheHit(minTime time.Duration) BenchResult {
+	s := newBenchServer()
+	defer s.Close()
+	body, err := json.Marshal(serve.ScheduleRequest{Instance: pinnedInstance(), Algorithm: "C1"})
+	if err != nil {
+		panic(err)
+	}
+	postJSON(s, body) // warm the cache
+	return measure("cache_hit/schedule", minTime, func(int) {
+		w := postJSON(s, body)
+		if w.Header().Get("X-Ringserve-Cache") != "hit" {
+			panic("cache_hit benchmark missed the cache")
+		}
+	})
+}
+
+// benchScheduleE2E measures the miss path end to end: every iteration
+// submits a distinct instance (the heavy load varies), so each request
+// canonicalizes, queues, runs the engine and encodes a fresh response.
+func benchScheduleE2E(minTime time.Duration) BenchResult {
+	s := newBenchServer()
+	defer s.Close()
+	in := pinnedInstance()
+	return measure("schedule_e2e/C1/m64", minTime, func(i int) {
+		in.Unit[0] = 1000 + int64(i)
+		body, err := json.Marshal(serve.ScheduleRequest{Instance: in, Algorithm: "C1"})
+		if err != nil {
+			panic(err)
+		}
+		w := postJSON(s, body)
+		if w.Header().Get("X-Ringserve-Cache") != "miss" {
+			panic("schedule_e2e benchmark hit the cache")
+		}
+	})
+}

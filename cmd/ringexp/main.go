@@ -8,8 +8,8 @@
 //
 //	ringexp [-algs A1,C2] [-group structured|random|adversary] [-case id]
 //	        [-deadline 15s] [-suite-deadline 2m] [-workers 8] [-markdown]
-//	        [-quiet] [-metrics] [-trace-out suite.jsonl] [-progress]
-//	        [-faults seed:spec] [-debug-addr :6060]
+//	        [-quiet] [-metrics] [-trace-out suite.jsonl] [-spans-out spans.jsonl]
+//	        [-progress] [-faults seed:spec] [-debug-addr :6060]
 //
 // With -faults every run executes under the given seeded fault schedule
 // (message loss, duplication, delay, processor stalls and crash-stops)
@@ -55,6 +55,7 @@ func run(args []string, out, errw io.Writer) error {
 	capStudy := fs.Bool("cap", false, "run the §7 capacitated study instead of the §6 suite")
 	withMetrics := fs.Bool("metrics", false, "collect per-run telemetry and print the per-algorithm table")
 	traceOut := fs.String("trace-out", "", "write every run's event trace and metrics as JSONL to this file")
+	spansOut := fs.String("spans-out", "", "write one ringsched.span/v1 JSONL record per case (run + solver timings) to this file")
 	faults := fs.String("faults", "", `fault-injection "seed:spec" applied to every run, e.g. 7:loss=0.1,crashes=2 (see README)`)
 	progress := fs.Bool("progress", false, "live suite status line (cases done / deadline hits / elapsed) on stderr")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address, e.g. localhost:6060")
@@ -120,6 +121,14 @@ func run(args []string, out, errw io.Writer) error {
 		}
 		defer f.Close()
 		o.TraceOut = f
+	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		o.SpanOut = f
 	}
 
 	// Live telemetry: a status line on stderr and/or expvar counters on

@@ -9,13 +9,18 @@
 //	POST /v1/optimal   exact solver under limits (maxArcs, deadlineMs)
 //	POST /v1/compare   algorithms scored against the exact optimum
 //	GET  /v1/healthz   liveness
-//	GET  /v1/statusz   counters: requests, cache hit-rate, queue depth
+//	GET  /v1/statusz   counters, cache hit-rate, queue depth, p50/p90/p99 latency
+//	GET  /metrics      Prometheus text exposition (counters, gauges, histograms)
+//
+// Every request carries an X-Request-Id (inbound IDs are honored) and,
+// with -access-log, emits one ringsched.span/v1 JSONL record tracing
+// canonicalize → cache → queue → compute → encode.
 //
 // Examples:
 //
 //	ringserve -addr :8372
 //	curl -s localhost:8372/v1/schedule -d '{"instance":{"kind":"unit","m":4,"unit":[9,0,0,3]},"algorithm":"C1"}'
-//	ringserve -selftest -requests 400 -clients 8
+//	ringserve -selftest -requests 400 -clients 8 -access-log spans.jsonl
 //
 // The daemon drains gracefully on SIGTERM/SIGINT: the listener closes,
 // in-flight requests finish, the compute pool empties, then it exits.
@@ -51,6 +56,7 @@ func run(args []string, out, errw io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "per-request compute deadline (0 = 30s)")
 	drain := fs.Duration("drain", 0, "graceful shutdown budget (0 = 30s)")
 	maxM := fs.Int("max-m", 0, "admission cap on ring size (0 = 100000)")
+	accessLog := fs.String("access-log", "", "write one ringsched.span/v1 JSONL record per request to this file (\"-\" = stdout)")
 	selftest := fs.Bool("selftest", false, "run the built-in zipf load generator against a loopback daemon and exit")
 	requests := fs.Int("requests", 0, "selftest: total requests (0 = 400)")
 	clients := fs.Int("clients", 0, "selftest: concurrent clients (0 = 8)")
@@ -69,6 +75,18 @@ func run(args []string, out, errw io.Writer) error {
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,
 		MaxM:           *maxM,
+	}
+	if *accessLog != "" {
+		if *accessLog == "-" {
+			cfg.AccessLog = out
+		} else {
+			f, err := os.Create(*accessLog)
+			if err != nil {
+				return fmt.Errorf("access log: %w", err)
+			}
+			defer f.Close()
+			cfg.AccessLog = f
+		}
 	}
 
 	if *selftest {

@@ -1,9 +1,15 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"ringsched/internal/metrics"
 )
 
 func TestRunSelfTest(t *testing.T) {
@@ -17,6 +23,45 @@ func TestRunSelfTest(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "hit-rate") {
 		t.Fatalf("selftest output missing hit-rate:\n%s", out.String())
+	}
+}
+
+// TestRunSelfTestWithAccessLog is the acceptance run for the tracing
+// flag: -selftest under -access-log must pass and leave a file of valid
+// ringsched.span/v1 records, one per request.
+func TestRunSelfTestWithAccessLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load run skipped in -short")
+	}
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	var out, errw bytes.Buffer
+	err := run([]string{"-selftest", "-requests", "100", "-clients", "3", "-access-log", path}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run -selftest -access-log: %v\n%s", err, out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines int
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var rec metrics.SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("span line %d invalid: %v (%q)", lines+1, err, sc.Text())
+		}
+		if rec.Schema != metrics.SpanSchema {
+			t.Fatalf("span line %d schema = %q", lines+1, rec.Schema)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines < 100 {
+		t.Fatalf("access log lines = %d, want at least the 100 requests", lines)
 	}
 }
 

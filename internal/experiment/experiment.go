@@ -130,6 +130,13 @@ type Options struct {
 	// labelled with the case id). Implies Metrics-style collection for
 	// the exported summaries.
 	TraceOut io.Writer
+	// SpanOut, when non-nil, receives one ringsched.span/v1 JSONL record
+	// per case: the wall-clock span tree of the case's algorithm runs
+	// and its exact-optimum solve — the serving layer's request-tracing
+	// format applied to suite execution, so one tool reads both.
+	// Records land in input case order whatever the worker count (span
+	// timings themselves are wall-clock and vary run to run).
+	SpanOut io.Writer
 	// OnProgress, when non-nil, receives a snapshot after every
 	// completed case (for live status displays).
 	OnProgress func(Progress)
@@ -207,6 +214,7 @@ func RunSuite(cases []workload.Case, o Options) (Report, error) {
 type caseOutcome struct {
 	cr    CaseResult
 	trace bytes.Buffer // buffered JSONL, flushed whole in case order
+	span  *metrics.SpanRecord
 }
 
 // RunSuiteContext is RunSuite under a context: cancelling ctx makes
@@ -334,12 +342,18 @@ func RunSuiteContext(ctx context.Context, cases []workload.Case, o Options) (Rep
 	}
 
 	// Deterministic assembly: whatever order workers finished in, the
-	// report and the trace stream follow the input case order.
+	// report and the trace/span streams follow the input case order.
+	spanLog := metrics.NewSpanLog(o.SpanOut)
 	for _, out := range outcomes {
 		rep.Cases = append(rep.Cases, out.cr)
 		if o.TraceOut != nil {
 			if _, err := o.TraceOut.Write(out.trace.Bytes()); err != nil {
 				return Report{}, fmt.Errorf("case %s: trace export: %w", out.cr.ID, err)
+			}
+		}
+		if out.span != nil {
+			if err := spanLog.Write(*out.span); err != nil {
+				return Report{}, fmt.Errorf("case %s: span export: %w", out.cr.ID, err)
 			}
 		}
 	}
@@ -362,6 +376,10 @@ func runCase(c workload.Case, algorithms []string, specs map[string]bucket.Spec,
 	}}
 	cr := &out.cr
 	collect := o.Metrics || o.TraceOut != nil
+	var tr *metrics.Trace // nil unless span export is on; nil no-ops
+	if o.SpanOut != nil {
+		tr = metrics.NewTrace()
+	}
 
 	var best int64
 	for _, name := range algorithms {
@@ -385,7 +403,9 @@ func runCase(c workload.Case, algorithms []string, specs map[string]bucket.Spec,
 			alg = fault.Robust(alg, pl, fault.Protocol{})
 			simOpts.Faults = pl
 		}
+		runStart := time.Now()
 		res, err := sim.Run(c.In, alg, simOpts)
+		tr.Add(name, "", runStart, time.Since(runStart))
 		if err != nil {
 			if errors.Is(err, sim.ErrNotQuiescent) {
 				// MaxSteps exhaustion is a result, not a suite failure:
@@ -442,7 +462,13 @@ func runCase(c workload.Case, algorithms []string, specs map[string]bucket.Spec,
 	if lim.UpperHint == 0 || (best > 0 && best < lim.UpperHint) {
 		lim.UpperHint = best
 	}
+	solveStart := time.Now()
 	cr.Opt = opt.Uncapacitated(c.In, lim)
+	tr.Add("solver", "", solveStart, time.Since(solveStart))
+	if tr != nil {
+		rec := tr.Record(c.ID, "suite-case")
+		out.span = &rec
+	}
 	for name, r := range cr.Runs {
 		if r.Err != "" {
 			continue

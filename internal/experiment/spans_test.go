@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ringsched/internal/metrics"
+)
+
+// TestRunSuiteSpanOut checks the suite's span export: one
+// ringsched.span/v1 record per case, in input order regardless of
+// worker scheduling, with one span per algorithm run plus the solver.
+func TestRunSuiteSpanOut(t *testing.T) {
+	cases := smallSuite(t)[:3]
+	var buf bytes.Buffer
+	_, err := RunSuite(cases, Options{
+		Algorithms: []string{"A2", "C1"},
+		Workers:    4, // deterministic assembly despite racing workers
+		SpanOut:    &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []metrics.SpanRecord
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var rec metrics.SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("invalid span line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != len(cases) {
+		t.Fatalf("span records = %d, want %d (one per case)", len(recs), len(cases))
+	}
+	for i, rec := range recs {
+		if rec.Schema != metrics.SpanSchema || rec.Op != "suite-case" {
+			t.Fatalf("record %d header = %+v", i, rec)
+		}
+		if rec.ID != cases[i].ID {
+			t.Fatalf("record %d is case %q, want %q (input order)", i, rec.ID, cases[i].ID)
+		}
+		got := map[string]bool{}
+		for _, sp := range rec.Spans {
+			got[sp.Name] = true
+			if sp.DurUs < 0 || sp.StartUs < 0 {
+				t.Fatalf("record %d span %+v has negative timing", i, sp)
+			}
+		}
+		for _, want := range []string{"A2", "C1", "solver"} {
+			if !got[want] {
+				t.Fatalf("record %d lacks span %q: %+v", i, want, rec.Spans)
+			}
+		}
+	}
+}
+
+// TestRunSuiteNoSpanOut pins the opt-in: without SpanOut no trace
+// machinery runs and nothing is written.
+func TestRunSuiteNoSpanOut(t *testing.T) {
+	cases := smallSuite(t)[:1]
+	rep, err := RunSuite(cases, Options{Algorithms: []string{"C1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cases) != 1 {
+		t.Fatalf("cases = %d", len(rep.Cases))
+	}
+}

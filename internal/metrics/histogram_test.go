@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistBucketBoundaries pins the layout contract: every finite bucket
+// i covers (HistBucketBound(i-1), HistBucketBound(i)], bucket 0 starts
+// at zero, and everything past the last finite bound overflows.
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-5, 0}, // clamped
+		{0, 0},
+		{1, 0},
+		{histBase, 0},
+		{histBase + 1, 1},
+		{2 * histBase, 1},
+		{2*histBase + 1, 2},
+		{HistBucketBound(10), 10},
+		{HistBucketBound(10) + 1, 11},
+		{HistBucketBound(NumHistBuckets - 1), NumHistBuckets - 1},
+		{HistBucketBound(NumHistBuckets-1) + 1, NumHistBuckets},
+		{math.MaxInt64, NumHistBuckets},
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Observe(tc.d)
+		s := h.Snapshot()
+		if s.Buckets[tc.want] != 1 {
+			got := -1
+			for i, c := range s.Buckets {
+				if c == 1 {
+					got = i
+				}
+			}
+			t.Errorf("Observe(%d) landed in bucket %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// logUniformSamples draws n durations spread log-uniformly from ~100ns
+// to ~100s — the latency range the histogram exists for, covering every
+// bucket class including overflow candidates.
+func logUniformSamples(rng *rand.Rand, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	lo, hi := math.Log(100), math.Log(100e9)
+	for i := range out {
+		out[i] = time.Duration(math.Exp(lo + rng.Float64()*(hi-lo)))
+	}
+	return out
+}
+
+// TestHistogramMergeQuantileProperty is the mergeability property test:
+// scatter one sample set across several histograms, merge the
+// snapshots, and the merged quantiles must bound the true quantiles of
+// the pooled samples. Because every histogram shares one fixed bucket
+// layout, merging is plain addition and cannot lose this guarantee.
+func TestHistogramMergeQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 100 + rng.Intn(4000)
+		k := 1 + rng.Intn(6)
+		samples := logUniformSamples(rng, n)
+
+		parts := make([]Histogram, k)
+		var sum int64
+		for _, d := range samples {
+			parts[rng.Intn(k)].Observe(d)
+			sum += d.Nanoseconds()
+		}
+		merged := parts[0].Snapshot()
+		for i := 1; i < k; i++ {
+			merged = merged.Merge(parts[i].Snapshot())
+		}
+		if merged.Count != int64(n) || merged.SumNs != sum {
+			t.Fatalf("trial %d: merged count/sum = %d/%d, want %d/%d",
+				trial, merged.Count, merged.SumNs, n, sum)
+		}
+
+		sorted := append([]time.Duration(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 1.0} {
+			r := int(math.Ceil(q * float64(n)))
+			if r < 1 {
+				r = 1
+			}
+			truth := sorted[r-1]
+			lo, hi := merged.QuantileBounds(q)
+			if truth > hi || (lo > 0 && truth <= lo) {
+				t.Fatalf("trial %d q=%.2f: true quantile %v outside merged bounds (%v, %v]",
+					trial, q, truth, lo, hi)
+			}
+			if est := merged.Quantile(q); est < lo || est > hi {
+				t.Fatalf("trial %d q=%.2f: interpolated %v outside own bounds (%v, %v]",
+					trial, q, est, lo, hi)
+			}
+		}
+		if got := merged.Mean(); got != time.Duration(sum/int64(n)) {
+			t.Fatalf("trial %d: mean = %v, want %v", trial, got, sum/int64(n))
+		}
+	}
+}
+
+// TestHistogramMergeEqualsPooled merges two disjoint sample sets and
+// checks the result is indistinguishable from observing everything into
+// one histogram.
+func TestHistogramMergeEqualsPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var a, b, pooled Histogram
+	for _, d := range logUniformSamples(rng, 500) {
+		a.Observe(d)
+		pooled.Observe(d)
+	}
+	for _, d := range logUniformSamples(rng, 700) {
+		b.Observe(d)
+		pooled.Observe(d)
+	}
+	if merged, want := a.Snapshot().Merge(b.Snapshot()), pooled.Snapshot(); merged != want {
+		t.Fatalf("merged snapshot differs from pooled:\n%+v\n%+v", merged, want)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if lo, hi := s.QuantileBounds(0.5); lo != 0 || hi != 0 {
+		t.Errorf("empty QuantileBounds = (%v, %v)", lo, hi)
+	}
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Errorf("empty quantile/mean nonzero")
+	}
+	sum := s.Summary()
+	if sum.Count != 0 || sum.P99Ms != 0 {
+		t.Errorf("empty summary = %+v", sum)
+	}
+}
+
+// TestHistogramOverflowQuantile pins the overflow convention: samples
+// past the last finite bound report hi = +Inf in bounds and the last
+// finite boundary from the interpolating estimator.
+func TestHistogramOverflowQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(200 * time.Second) // beyond HistBucketBound(27) ≈ 137s
+	s := h.Snapshot()
+	lo, hi := s.QuantileBounds(0.5)
+	if lo != HistBucketBound(NumHistBuckets-1) || hi != time.Duration(math.MaxInt64) {
+		t.Fatalf("overflow bounds = (%v, %v)", lo, hi)
+	}
+	if got := s.Quantile(0.5); got != HistBucketBound(NumHistBuckets-1) {
+		t.Fatalf("overflow quantile = %v", got)
+	}
+}
+
+func TestQuantileSummary(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	sum := h.Snapshot().Summary()
+	if sum.Count != 100 {
+		t.Fatalf("count = %d", sum.Count)
+	}
+	if sum.MeanMs != 1.0 {
+		t.Fatalf("meanMs = %v, want 1.0 (sum is tracked exactly)", sum.MeanMs)
+	}
+	// All mass sits in the bucket containing 1ms, so every percentile
+	// must land inside that bucket's bounds.
+	lo, hi := h.Snapshot().QuantileBounds(0.99)
+	for _, p := range []float64{sum.P50Ms, sum.P90Ms, sum.P99Ms} {
+		d := time.Duration(p * float64(time.Millisecond))
+		if d < lo || d > hi {
+			t.Fatalf("percentile %vms outside bucket (%v, %v]", p, lo, hi)
+		}
+	}
+}

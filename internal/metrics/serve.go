@@ -2,11 +2,14 @@ package metrics
 
 import "sync/atomic"
 
-// ServeStats counts the serving layer's request and cache activity, in
-// the same style as SolverStats: process-wide atomic counters that the
-// ringserve daemon republishes via expvar and /v1/statusz. One block is
-// shared by every handler goroutine, so hit rates stay consistent under
-// concurrent load.
+// ServeStats counts one serving daemon's request and cache activity:
+// atomic counters that ringserve republishes via expvar, /v1/statusz
+// and /metrics. Unlike SolverStats the block is per-Server, not
+// process-wide — each serve.Server owns its own ServeStats (the zero
+// value is ready to use), so two daemons in one process report their
+// own traffic instead of silently sharing one set of counters. One
+// block is shared by every handler goroutine of its server, so hit
+// rates stay consistent under concurrent load.
 type ServeStats struct {
 	requests   atomic.Int64 // API requests accepted for processing
 	cacheHits  atomic.Int64 // responses served from the result cache
@@ -17,9 +20,6 @@ type ServeStats struct {
 	panicked   atomic.Int64 // worker panics isolated to one request
 	badRequest atomic.Int64 // malformed requests refused with 4xx
 }
-
-// Serve is the process-wide serving stats block fed by internal/serve.
-var Serve ServeStats
 
 // Request records one accepted API request.
 func (s *ServeStats) Request() { s.requests.Add(1) }

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanSchema identifies the request-tracing JSONL format: one
+// SpanRecord object per line, each carrying the span tree of one unit
+// of work (an API request in internal/serve, a suite case in
+// internal/experiment). Parent links by span name keep records flat on
+// the wire while still encoding the tree.
+const SpanSchema = "ringsched.span/v1"
+
+// Span is one timed phase inside a record. Start is the offset from the
+// record's own start, so spans are meaningful without wall-clock
+// context and records from different machines line up.
+type Span struct {
+	Name    string `json:"name"`
+	Parent  string `json:"parent,omitempty"`
+	StartUs int64  `json:"startUs"`
+	DurUs   int64  `json:"durUs"`
+}
+
+// SpanRecord is one access-log line: the identity of the work, its
+// outcome, and its span tree.
+type SpanRecord struct {
+	Schema string `json:"schema"`
+	// ID is the request or case identifier (X-Request-Id for serve).
+	ID string `json:"id"`
+	// Op names the operation: the endpoint ("schedule") or suite op.
+	Op string `json:"op"`
+	// Status is the HTTP status (0 where there is none).
+	Status int `json:"status,omitempty"`
+	// Cache is the result-cache verdict ("hit"/"miss", "" when n/a).
+	Cache string `json:"cache,omitempty"`
+	// Error carries the error code of a failed operation.
+	Error string `json:"error,omitempty"`
+	DurUs int64  `json:"durUs"`
+	Spans []Span `json:"spans"`
+}
+
+// SpanLog serializes SpanRecords as JSONL onto one writer. Writes are
+// whole-line atomic (one lock, one Write call per record), so many
+// handler goroutines can share a log without interleaving.
+type SpanLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSpanLog returns a SpanLog writing to w (nil yields a nil log,
+// which Write treats as disabled).
+func NewSpanLog(w io.Writer) *SpanLog {
+	if w == nil {
+		return nil
+	}
+	return &SpanLog{w: w}
+}
+
+// Write appends one record. A nil receiver is a no-op, so callers can
+// log unconditionally.
+func (l *SpanLog) Write(rec SpanRecord) error {
+	if l == nil {
+		return nil
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err = l.w.Write(b)
+	return err
+}
+
+// Trace accumulates the span tree of one in-flight operation. It is
+// safe for concurrent use: a request's handler goroutine and the worker
+// executing its compute may add spans at the same time. A nil *Trace is
+// inert — every method no-ops — so tracing can be plumbed through
+// unconditionally and enabled per request.
+type Trace struct {
+	mu    sync.Mutex
+	start time.Time
+	spans []Span
+}
+
+// NewTrace starts a trace clock.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// StartSpan opens a span under parent ("" = root) and returns the
+// closure that ends it. Typical use:
+//
+//	end := tr.StartSpan("engine", "compute")
+//	defer end()
+func (t *Trace) StartSpan(name, parent string) func() {
+	if t == nil {
+		return func() {}
+	}
+	s := time.Now()
+	return func() { t.Add(name, parent, s, time.Since(s)) }
+}
+
+// Add records a span that was timed externally (e.g. queue wait, whose
+// start predates the goroutine that learns its duration).
+func (t *Trace) Add(name, parent string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, Span{
+		Name:    name,
+		Parent:  parent,
+		StartUs: start.Sub(t.start).Microseconds(),
+		DurUs:   d.Microseconds(),
+	})
+}
+
+// Record freezes the trace into a SpanRecord. Spans keep insertion
+// order (parents typically precede children; consumers resolve the
+// tree by the Parent field, not by order).
+func (t *Trace) Record(id, op string) SpanRecord {
+	rec := SpanRecord{Schema: SpanSchema, ID: id, Op: op}
+	if t == nil {
+		return rec
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec.DurUs = time.Since(t.start).Microseconds()
+	rec.Spans = append([]Span(nil), t.spans...)
+	return rec
+}

@@ -141,6 +141,11 @@ type apiError struct {
 type apiErrorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RequestID echoes the request's X-Request-Id so a failure in a log
+	// pipeline can be joined back to its access-log span record. Success
+	// bodies carry no ID (they must stay byte-identical across cache
+	// hits); the header is the in-band channel there.
+	RequestID string `json:"requestId,omitempty"`
 }
 
 // errorCode maps an error chain onto a wire code via the exported

@@ -18,6 +18,7 @@ import (
 type cache struct {
 	shards   []cacheShard
 	perShard int
+	stats    *metrics.ServeStats
 }
 
 type cacheShard struct {
@@ -32,15 +33,16 @@ type cacheEntry struct {
 }
 
 // newCache builds a cache of `entries` total capacity over `shards`
-// shards (both forced to sane minimums).
-func newCache(entries, shards int) *cache {
+// shards (both forced to sane minimums), reporting hit/miss/eviction
+// activity into the owning server's stats block.
+func newCache(entries, shards int, stats *metrics.ServeStats) *cache {
 	if shards < 1 {
 		shards = 1
 	}
 	if entries < shards {
 		entries = shards
 	}
-	c := &cache{shards: make([]cacheShard, shards), perShard: entries / shards}
+	c := &cache{shards: make([]cacheShard, shards), perShard: entries / shards, stats: stats}
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]*list.Element)
 		c.shards[i].ll = list.New()
@@ -63,11 +65,11 @@ func (c *cache) get(key string) ([]byte, bool) {
 	defer s.mu.Unlock()
 	el, ok := s.m[key]
 	if !ok {
-		metrics.Serve.CacheMiss()
+		c.stats.CacheMiss()
 		return nil, false
 	}
 	s.ll.MoveToFront(el)
-	metrics.Serve.CacheHit()
+	c.stats.CacheHit()
 	return el.Value.(*cacheEntry).body, true
 }
 
@@ -89,7 +91,7 @@ func (c *cache) put(key string, body []byte) {
 		}
 		s.ll.Remove(last)
 		delete(s.m, last.Value.(*cacheEntry).key)
-		metrics.Serve.Eviction()
+		c.stats.Eviction()
 	}
 	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, body: body})
 }

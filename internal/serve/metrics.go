@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"net/http"
+
+	"ringsched/internal/metrics"
+)
+
+// handleMetrics is GET /metrics: the Prometheus text exposition of the
+// server's full observability surface — request/cache/pool counters,
+// pool occupancy gauges, the per-endpoint latency histograms, and the
+// solver probe counters attributed since this server started. Families,
+// samples and labels are emitted in a fixed order, so the output for a
+// given counter state is byte-stable (the golden test relies on it).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.PromContentType)
+	p := metrics.NewPromWriter(w)
+	s.writeProm(p)
+	p.Flush()
+}
+
+// writeProm renders the exposition onto p (split out so tests can
+// render to a buffer without an HTTP round trip).
+func (s *Server) writeProm(p *metrics.PromWriter) {
+	snap := s.stats.Snapshot()
+	one := func(v int64) []metrics.PromSample {
+		return []metrics.PromSample{{Value: float64(v)}}
+	}
+
+	p.Counter("ringserve_requests_total", "API requests accepted for processing.", one(snap.Requests)...)
+	p.Counter("ringserve_bad_requests_total", "Requests refused as malformed or over admission caps.", one(snap.BadRequests)...)
+	p.Counter("ringserve_rejected_total", "Requests shed with 429 because the compute queue was full.", one(snap.Rejected)...)
+	p.Counter("ringserve_canceled_total", "Requests abandoned by deadline or client cancellation.", one(snap.Canceled)...)
+	p.Counter("ringserve_panics_total", "Worker panics isolated to a single request.", one(snap.Panics)...)
+	p.Counter("ringserve_cache_hits_total", "Responses served from the canonical result cache.", one(snap.CacheHits)...)
+	p.Counter("ringserve_cache_misses_total", "Responses computed because the cache had no entry.", one(snap.CacheMisses)...)
+	p.Counter("ringserve_cache_evictions_total", "Cache entries displaced by LRU pressure.", one(snap.Evictions)...)
+
+	p.Gauge("ringserve_workers", "Compute pool size.", one(int64(s.cfg.Workers))...)
+	p.Gauge("ringserve_workers_busy", "Workers currently executing a task.", one(s.pool.busyWorkers())...)
+	p.Gauge("ringserve_queue_length", "Tasks queued but not yet started.", one(int64(s.pool.queueLen()))...)
+	p.Gauge("ringserve_queue_capacity", "Queue depth before 429 backpressure.", one(int64(s.cfg.QueueDepth))...)
+	p.Gauge("ringserve_cache_entries", "Entries in the result cache.", one(int64(s.cache.len()))...)
+	p.Gauge("ringserve_cache_capacity", "Result cache capacity.", one(int64(s.cfg.CacheEntries))...)
+
+	series := func(phase int) []metrics.PromHistogram {
+		out := make([]metrics.PromHistogram, 0, len(latEndpoints))
+		for _, ep := range latEndpoints {
+			out = append(out, metrics.PromHistogram{
+				Labels:   []metrics.PromLabel{{Name: "endpoint", Value: ep}},
+				Snapshot: s.lat[ep].hist[phase].Snapshot(),
+			})
+		}
+		return out
+	}
+	p.Histogram("ringserve_request_duration_seconds", "Total request latency per endpoint.", series(latTotal)...)
+	p.Histogram("ringserve_queue_wait_seconds", "Time requests spent queued before a worker started them.", series(latQueue)...)
+	p.Histogram("ringserve_engine_seconds", "Time requests spent executing on a worker (engine and solver).", series(latEngine)...)
+
+	solver := metrics.Solver.Snapshot().Sub(s.solverBase)
+	p.Counter("ringsched_solver_probes_total", "Feasibility max-flow probes since this server started.", one(solver.Probes)...)
+	p.Counter("ringsched_solver_memo_hits_total", "Probes answered by the monotone feasibility memo.", one(solver.MemoHits)...)
+	p.Counter("ringsched_solver_warm_reuses_total", "Probes served by resetting a warm flow network.", one(solver.WarmReuses)...)
+	p.Counter("ringsched_solver_cold_builds_total", "Feasibility networks built from scratch.", one(solver.ColdBuilds)...)
+}

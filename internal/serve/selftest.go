@@ -13,7 +13,6 @@ import (
 	"time"
 
 	"ringsched/internal/instance"
-	"ringsched/internal/metrics"
 	"ringsched/internal/workload"
 )
 
@@ -87,7 +86,7 @@ func SelfTest(cfg Config, opts SelfTestOptions, out io.Writer) error {
 		transport = &http.Transport{MaxIdleConnsPerHost: opts.Clients}
 	)
 	client := &http.Client{Transport: transport}
-	before := metrics.Serve.Snapshot()
+	before := s.Stats()
 
 	// Zipf over the case mix: rank-skewed popularity, exponent 1.7 — a
 	// hot head over a long tail, the workload shape a result cache is
@@ -154,7 +153,7 @@ func SelfTest(cfg Config, opts SelfTestOptions, out io.Writer) error {
 	hitRate := float64(hits) / float64(len(samples))
 	p50 := samples[len(samples)/2].latency
 	p99 := samples[(len(samples)*99)/100].latency
-	delta := metrics.Serve.Snapshot().Sub(before)
+	delta := s.Stats().Sub(before)
 
 	fmt.Fprintf(out, "ringserve selftest: %d requests, %d clients, %d cases x %d algorithms\n",
 		len(samples), opts.Clients, len(mix), len(algs))

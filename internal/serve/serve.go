@@ -23,10 +23,12 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ringsched/internal/bucket"
@@ -64,6 +66,12 @@ type Config struct {
 	MaxTotalWork int64
 	// MaxBody caps request body size; 0 means 8 MiB.
 	MaxBody int64
+	// AccessLog, when non-nil, receives one ringsched.span/v1 JSONL
+	// record per API request: the request ID, endpoint, status, cache
+	// verdict and the span tree (canonicalize, cache, queue, compute
+	// with engine/solver children, encode). Writes are whole-line
+	// atomic; the writer is shared by all handler goroutines.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -97,19 +105,35 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is one ringserve daemon instance: handlers, compute pool and
-// result cache. Create it with New; it is safe for concurrent use.
+// Server is one ringserve daemon instance: handlers, compute pool,
+// result cache and its own observability state (counters, per-endpoint
+// latency histograms, optional access log). Create it with New; it is
+// safe for concurrent use.
 type Server struct {
-	cfg   Config
-	pool  *pool
-	cache *cache
-	mux   *http.ServeMux
-	start time.Time
+	cfg       Config
+	pool      *pool
+	cache     *cache
+	mux       *http.ServeMux
+	start     time.Time
+	stats     *metrics.ServeStats
+	lat       map[string]*endpointLat
+	accessLog *metrics.SpanLog
+	// solverBase is the process-wide solver counter state at New time,
+	// so /metrics can attribute solver activity since this server came
+	// up (and stay deterministic for a fresh server).
+	solverBase metrics.SolverSnapshot
 }
 
 // expvarOnce guards the process-wide expvar name (Publish panics on
-// duplicates; tests build many Servers).
-var expvarOnce sync.Once
+// duplicates; tests build many Servers), and liveServer is the
+// indirection behind it: the name always reports the most recently
+// created Server's stats, so a second daemon in one process — common in
+// tests, and legal in embedders — is never silently shadowed by the
+// first one's counters.
+var (
+	expvarOnce sync.Once
+	liveServer atomic.Pointer[Server]
+)
 
 // New builds a Server from cfg (zero fields defaulted) and starts its
 // worker pool. Callers that never Serve should still let drain run via
@@ -117,24 +141,49 @@ var expvarOnce sync.Once
 // call s.drainPool via Serve's path or simply leak the pool until exit.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	stats := &metrics.ServeStats{}
 	s := &Server{
-		cfg:   cfg,
-		pool:  newPool(cfg.Workers, cfg.QueueDepth),
-		cache: newCache(cfg.CacheEntries, cfg.CacheShards),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		cfg:        cfg,
+		pool:       newPool(cfg.Workers, cfg.QueueDepth),
+		cache:      newCache(cfg.CacheEntries, cfg.CacheShards, stats),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		stats:      stats,
+		lat:        make(map[string]*endpointLat, len(latEndpoints)),
+		accessLog:  metrics.NewSpanLog(cfg.AccessLog),
+		solverBase: metrics.Solver.Snapshot(),
 	}
-	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
-	s.mux.HandleFunc("/v1/optimal", s.handleOptimal)
-	s.mux.HandleFunc("/v1/compare", s.handleCompare)
-	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/statusz", s.handleStatusz)
+	for _, ep := range latEndpoints {
+		s.lat[ep] = &endpointLat{}
+	}
+	s.mux.HandleFunc("/v1/schedule", s.wrap("schedule", s.handleSchedule))
+	s.mux.HandleFunc("/v1/optimal", s.wrap("optimal", s.handleOptimal))
+	s.mux.HandleFunc("/v1/compare", s.wrap("compare", s.handleCompare))
+	s.mux.HandleFunc("/v1/healthz", s.wrap("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/v1/statusz", s.wrap("statusz", s.handleStatusz))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	liveServer.Store(s)
 	expvarOnce.Do(func() {
 		expvar.Publish("ringserve", expvar.Func(func() any {
-			return metrics.Serve.Snapshot()
+			if live := liveServer.Load(); live != nil {
+				return live.expvarState()
+			}
+			return nil
 		}))
 	})
 	return s
+}
+
+// Stats returns a snapshot of this server's own counters.
+func (s *Server) Stats() metrics.ServeSnapshot { return s.stats.Snapshot() }
+
+// expvarState is the expvar "ringserve" payload: counters plus the
+// per-endpoint latency digests.
+func (s *Server) expvarState() any {
+	return struct {
+		Counters metrics.ServeSnapshot         `json:"counters"`
+		Latency  map[string]endpointLatencyOut `json:"latency"`
+	}{s.stats.Snapshot(), s.latencyOut()}
 }
 
 // Handler returns the daemon's HTTP handler (for tests and embedding).
@@ -197,39 +246,53 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
 }
 
 // writeJSON marshals body (appending a newline) and writes it with the
-// given cache-status header. The returned bytes are what went on the
-// wire — the caller caches them for future byte-identical hits.
-func writeJSON(w http.ResponseWriter, status int, cacheStatus string, body any) []byte {
+// given cache-status header, under an "encode" span when the request is
+// traced. The returned bytes are what went on the wire — the caller
+// caches them for future byte-identical hits.
+func writeJSON(w http.ResponseWriter, ri *reqInfo, status int, cacheStatus string, body any) []byte {
+	defer ri.span("encode", "")()
 	b, err := json.Marshal(body)
 	if err != nil {
 		// Response types marshal by construction; treat failure as 500.
+		ri.setStatus(http.StatusInternalServerError)
 		http.Error(w, `{"error":{"code":"internal","message":"marshal failure"}}`, http.StatusInternalServerError)
 		return nil
 	}
 	b = append(b, '\n')
-	writeRaw(w, status, cacheStatus, b)
+	writeRaw(w, ri, status, cacheStatus, b)
 	return b
 }
 
-func writeRaw(w http.ResponseWriter, status int, cacheStatus string, b []byte) {
+func writeRaw(w http.ResponseWriter, ri *reqInfo, status int, cacheStatus string, b []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	if cacheStatus != "" {
 		w.Header().Set("X-Ringserve-Cache", cacheStatus)
 	}
+	ri.setStatus(status)
+	ri.setCache(cacheStatus)
 	w.WriteHeader(status)
 	w.Write(b)
 }
 
-// writeError maps err onto the HTTP plane via the exported sentinels.
-func writeError(w http.ResponseWriter, err error) {
+// writeError maps err onto the HTTP plane via the exported sentinels,
+// echoing the request ID in the error payload (error bodies are never
+// cached, so the ID can ride in-band; success bodies stay ID-free to
+// keep cached and fresh responses byte-identical).
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	ri := info(r)
 	status, code := errorCode(err)
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
-		metrics.Serve.Rejected()
+		s.stats.Rejected()
 	} else if status >= 400 && status < 500 {
-		metrics.Serve.BadRequest()
+		s.stats.BadRequest()
 	}
-	writeJSON(w, status, "", apiError{Error: apiErrorBody{Code: code, Message: err.Error()}})
+	ri.setError(code)
+	body := apiErrorBody{Code: code, Message: err.Error()}
+	if ri != nil {
+		body.RequestID = ri.id
+	}
+	writeJSON(w, ri, status, "", apiError{Error: body})
 }
 
 // timeout clamps a per-request timeoutMs to the server cap.
@@ -248,9 +311,13 @@ func (s *Server) timeout(ms int64) time.Duration {
 // marshaled body. compute must be pure in the request (it runs on a
 // worker goroutine) and should honor ctx.
 func (s *Server) respond(w http.ResponseWriter, r *http.Request, key string, timeoutMs int64, compute func(ctx context.Context) (any, error)) {
-	metrics.Serve.Request()
-	if body, ok := s.cache.get(key); ok {
-		writeRaw(w, http.StatusOK, "hit", body)
+	s.stats.Request()
+	ri := info(r)
+	endLookup := ri.span("cache", "")
+	body, hit := s.cache.get(key)
+	endLookup()
+	if hit {
+		writeRaw(w, ri, http.StatusOK, "hit", body)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(timeoutMs))
@@ -261,38 +328,41 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, key string, tim
 		err  error
 	}
 	ch := make(chan outcome, 1)
-	ok := s.pool.trySubmit(func() {
+	ok := s.pool.trySubmit(func(enqueued time.Time, wait time.Duration) {
+		ri.observeQueue(enqueued, wait)
 		if ctx.Err() != nil {
 			// The client gave up while we sat in the queue; don't burn
 			// a worker on a response nobody reads.
 			ch <- outcome{err: ctx.Err()}
 			return
 		}
+		execStart := time.Now()
 		var o outcome
-		o.err = guard(func() error {
+		o.err = guard(s.stats, func() error {
 			var err error
 			o.body, err = compute(ctx)
 			return err
 		})
+		ri.observeEngine(execStart, time.Since(execStart))
 		ch <- o
 	})
 	if !ok {
-		writeError(w, errQueueFull)
+		s.writeError(w, r, errQueueFull)
 		return
 	}
 	select {
 	case <-ctx.Done():
-		metrics.Serve.Canceled()
-		writeError(w, ctx.Err())
+		s.stats.Canceled()
+		s.writeError(w, r, ctx.Err())
 	case o := <-ch:
 		if o.err != nil {
 			if errors.Is(o.err, context.Canceled) || errors.Is(o.err, context.DeadlineExceeded) || errors.Is(o.err, sim.ErrCanceled) {
-				metrics.Serve.Canceled()
+				s.stats.Canceled()
 			}
-			writeError(w, o.err)
+			s.writeError(w, r, o.err)
 			return
 		}
-		if body := writeJSON(w, http.StatusOK, "miss", o.body); body != nil {
+		if body := writeJSON(w, ri, http.StatusOK, "miss", o.body); body != nil {
 			s.cache.put(key, body)
 		}
 	}
@@ -303,30 +373,30 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, key string, tim
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, fmt.Errorf("%w: use POST", errBadRequest))
+		s.writeError(w, r, fmt.Errorf("%w: use POST", errBadRequest))
 		return
 	}
 	var req ScheduleRequest
 	if err := s.decode(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if err := s.admissible(req.Instance); err != nil {
-		writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	switch req.Algorithm {
 	case "A1", "B1", "C1", "A2", "B2", "C2", "cap", "online":
 	default:
-		writeError(w, fmt.Errorf("%w: unknown algorithm %q", errBadRequest, req.Algorithm))
+		s.writeError(w, r, fmt.Errorf("%w: unknown algorithm %q", errBadRequest, req.Algorithm))
 		return
 	}
 	if len(req.Arrivals) > 0 && req.Algorithm != "online" {
-		writeError(w, fmt.Errorf("%w: arrivals require algorithm \"online\"", errBadRequest))
+		s.writeError(w, r, fmt.Errorf("%w: arrivals require algorithm \"online\"", errBadRequest))
 		return
 	}
 	if req.Options.Distributed && (req.Algorithm == "cap" || req.Algorithm == "online") {
-		writeError(w, fmt.Errorf("%w: distributed runs support A1..C2 only", errBadRequest))
+		s.writeError(w, r, fmt.Errorf("%w: distributed runs support A1..C2 only", errBadRequest))
 		return
 	}
 
@@ -336,8 +406,10 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	// bodies byte-identical across all dihedral copies). Arrival
 	// processor indices break the symmetry, so those requests are keyed
 	// and computed on their exact form.
+	endCanon := info(r).span("canonicalize", "")
 	can := req.Instance.Canonical()
 	fp := can.Fingerprint()
+	endCanon()
 	runOn := can
 	ident := fp.String()
 	if len(req.Arrivals) > 0 {
@@ -349,7 +421,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("schedule|%s|%s|steps=%d|dist=%t|bidir=%t",
 		ident, req.Algorithm, req.Options.MaxSteps, req.Options.Distributed, req.Options.Bidirectional)
 
+	ri := info(r)
 	s.respond(w, r, key, req.Options.TimeoutMs, func(ctx context.Context) (any, error) {
+		defer ri.span("engine", "compute")()
 		return s.computeSchedule(ctx, runOn, fp, req)
 	})
 }
@@ -436,28 +510,32 @@ func onlineInstance(in instance.Instance, arrivals []ArrivalBatch) (online.Insta
 func (s *Server) handleOptimal(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, fmt.Errorf("%w: use POST", errBadRequest))
+		s.writeError(w, r, fmt.Errorf("%w: use POST", errBadRequest))
 		return
 	}
 	var req OptimalRequest
 	if err := s.decode(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if err := s.admissible(req.Instance); err != nil {
-		writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if !req.Instance.IsUnit() {
-		writeError(w, fmt.Errorf("%w: the exact solver requires a unit-job instance", errBadRequest))
+		s.writeError(w, r, fmt.Errorf("%w: the exact solver requires a unit-job instance", errBadRequest))
 		return
 	}
+	ri := info(r)
+	endCanon := ri.span("canonicalize", "")
 	can := req.Instance.Canonical()
 	fp := can.Fingerprint()
+	endCanon()
 	key := fmt.Sprintf("optimal|%s|cap=%t|%s|exact=%t",
 		fp.String(), req.Capacitated, optKey(req.Limits), req.RequireExact)
 
 	s.respond(w, r, key, req.Limits.DeadlineMs, func(ctx context.Context) (any, error) {
+		defer ri.span("solver", "compute")()
 		resp, err := solveOptimal(ctx, can, fp, req.Capacitated, req.Limits)
 		if err != nil {
 			return nil, err
@@ -499,36 +577,42 @@ func solveOptimal(ctx context.Context, can instance.Instance, fp instance.Finger
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, fmt.Errorf("%w: use POST", errBadRequest))
+		s.writeError(w, r, fmt.Errorf("%w: use POST", errBadRequest))
 		return
 	}
 	var req CompareRequest
 	if err := s.decode(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if err := s.admissible(req.Instance); err != nil {
-		writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if !req.Instance.IsUnit() {
-		writeError(w, fmt.Errorf("%w: compare needs the exact solver, which requires a unit-job instance", errBadRequest))
+		s.writeError(w, r, fmt.Errorf("%w: compare needs the exact solver, which requires a unit-job instance", errBadRequest))
 		return
 	}
 	algs, err := normalizeAlgorithms(req.Algorithms)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
+	ri := info(r)
+	endCanon := ri.span("canonicalize", "")
 	can := req.Instance.Canonical()
 	fp := can.Fingerprint()
+	endCanon()
 	key := fmt.Sprintf("compare|%s|algs=%v|%s", fp.String(), algs, optKey(req.Limits))
 
 	s.respond(w, r, key, req.TimeoutMs, func(ctx context.Context) (any, error) {
+		endSolver := ri.span("solver", "compute")
 		optResp, err := solveOptimal(ctx, can, fp, false, req.Limits)
+		endSolver()
 		if err != nil {
 			return nil, err
 		}
+		defer ri.span("engine", "compute")()
 		resp := CompareResponse{
 			Schema:      Schema,
 			Fingerprint: fp.String(),
@@ -570,28 +654,54 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // statuszResponse is the live counter dump behind GET /v1/statusz.
 type statuszResponse struct {
-	Schema       string                `json:"schema"`
-	UptimeSec    float64               `json:"uptimeSec"`
-	Workers      int                   `json:"workers"`
-	QueueLen     int                   `json:"queueLen"`
-	QueueDepth   int                   `json:"queueDepth"`
-	CacheEntries int                   `json:"cacheEntries"`
-	CacheCap     int                   `json:"cacheCap"`
-	HitRate      float64               `json:"hitRate"`
-	Counters     metrics.ServeSnapshot `json:"counters"`
+	Schema       string                        `json:"schema"`
+	UptimeSec    float64                       `json:"uptimeSec"`
+	Workers      int                           `json:"workers"`
+	WorkersBusy  int64                         `json:"workersBusy"`
+	QueueLen     int                           `json:"queueLen"`
+	QueueDepth   int                           `json:"queueDepth"`
+	CacheEntries int                           `json:"cacheEntries"`
+	CacheCap     int                           `json:"cacheCap"`
+	HitRate      float64                       `json:"hitRate"`
+	Counters     metrics.ServeSnapshot         `json:"counters"`
+	Latency      map[string]endpointLatencyOut `json:"latency"`
+}
+
+// endpointLatencyOut is one endpoint's latency digest on the wire:
+// p50/p90/p99 plus mean and count per phase.
+type endpointLatencyOut struct {
+	Total  metrics.QuantileSummary `json:"total"`
+	Queue  metrics.QuantileSummary `json:"queue"`
+	Engine metrics.QuantileSummary `json:"engine"`
+}
+
+// latencyOut digests every instrumented endpoint's histograms.
+func (s *Server) latencyOut() map[string]endpointLatencyOut {
+	out := make(map[string]endpointLatencyOut, len(latEndpoints))
+	for _, ep := range latEndpoints {
+		lat := s.lat[ep]
+		out[ep] = endpointLatencyOut{
+			Total:  lat.hist[latTotal].Snapshot().Summary(),
+			Queue:  lat.hist[latQueue].Snapshot().Summary(),
+			Engine: lat.hist[latEngine].Snapshot().Summary(),
+		}
+	}
+	return out
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
-	snap := metrics.Serve.Snapshot()
-	writeJSON(w, http.StatusOK, "", statuszResponse{
+	snap := s.stats.Snapshot()
+	writeJSON(w, info(r), http.StatusOK, "", statuszResponse{
 		Schema:       Schema,
 		UptimeSec:    time.Since(s.start).Seconds(),
 		Workers:      s.cfg.Workers,
-		QueueLen:     len(s.pool.queue),
+		WorkersBusy:  s.pool.busyWorkers(),
+		QueueLen:     s.pool.queueLen(),
 		QueueDepth:   s.cfg.QueueDepth,
 		CacheEntries: s.cache.len(),
 		CacheCap:     s.cfg.CacheEntries,
 		HitRate:      snap.HitRate(),
 		Counters:     snap,
+		Latency:      s.latencyOut(),
 	})
 }

@@ -355,10 +355,10 @@ func TestQueueFull(t *testing.T) {
 	// Park the worker and fill the queue directly — deterministic,
 	// no timing dependence on handler goroutines.
 	block := make(chan struct{})
-	if !s.pool.trySubmit(func() { <-block }) {
+	if !s.pool.trySubmit(func(time.Time, time.Duration) { <-block }) {
 		t.Fatal("could not park the worker")
 	}
-	for !s.pool.trySubmit(func() {}) {
+	for !s.pool.trySubmit(func(time.Time, time.Duration) {}) {
 		// The worker may have grabbed the parker before the filler
 		// arrived; with it parked, one more submit must stick.
 		time.Sleep(time.Millisecond)
@@ -405,7 +405,7 @@ func TestRequestTimeout(t *testing.T) {
 func TestPanicIsolation(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1})
 	done := make(chan error, 1)
-	if !s.pool.trySubmit(func() { done <- guard(func() error { panic("kaboom") }) }) {
+	if !s.pool.trySubmit(func(time.Time, time.Duration) { done <- guard(s.stats, func() error { panic("kaboom") }) }) {
 		t.Fatal("submit failed")
 	}
 	if err := <-done; err == nil || !strings.Contains(err.Error(), "kaboom") {
