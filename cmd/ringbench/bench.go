@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"ringsched/internal/bigring"
 	"ringsched/internal/bucket"
 	"ringsched/internal/instance"
 	"ringsched/internal/opt"
@@ -183,7 +184,39 @@ func microSuite() []benchmark {
 		})
 	}}
 
-	return []benchmark{engine("C1"), engine("A2"), canonical, solver}
+	// bigring_step: the big-ring engine's unit cost at production scale.
+	// One op is one Step call on a dense seeded ring (Reset, which
+	// allocates nothing, rewinds a completed run), so NsPerOp is
+	// directly ns/step and is mirrored into Extra["nsPerStep"] for the
+	// per-step regression report. The pool engine cannot be pinned at
+	// these sizes — its O(m) per-step scan would dominate the suite —
+	// which is the asymmetry this entry exists to document.
+	bigStep := func(alg string, m int, label string) benchmark {
+		name := "bigring_step/" + alg + "/" + label
+		return benchmark{name: name, run: func(minTime time.Duration) BenchResult {
+			spec, err := bucket.ByName(alg)
+			if err != nil {
+				panic(err)
+			}
+			e, err := bigring.New(workload.Uniform(m, 100, 7), spec, bigring.Options{})
+			if err != nil {
+				panic(err)
+			}
+			res := measure(name, minTime, func(int) {
+				if e.Step() {
+					e.Reset()
+				}
+			})
+			res.Extra = map[string]float64{"nsPerStep": res.NsPerOp}
+			return res
+		}}
+	}
+
+	return []benchmark{
+		engine("C1"), engine("A2"), canonical, solver,
+		bigStep("C1", 100_000, "m1e5"), bigStep("C1", 1_000_000, "m1e6"),
+		bigStep("A2", 100_000, "m1e5"), bigStep("A2", 1_000_000, "m1e6"),
+	}
 }
 
 // pinnedInstance is the macro benchmarks' base instance.
@@ -260,13 +293,22 @@ func WriteBenchFile(path string, f BenchFile) error {
 
 // ---- regression gate ----
 
-// Delta is one benchmark's old-vs-new comparison.
+// Delta is one benchmark's old-vs-new comparison. For step-granular
+// benchmarks (the engine_step and bigring_step entries, which publish
+// Extra["nsPerStep"]) the per-step numbers ride along: ns/op of an
+// engine benchmark mixes per-step cost with how many steps a run took,
+// and the per-step figure is the one an engine change actually moves.
 type Delta struct {
 	Name       string
 	OldNs      float64
 	NewNs      float64
 	Ratio      float64 // new/old; > 1 means slower
 	Regression bool
+
+	// Per-step comparison; zero when either side lacks nsPerStep.
+	OldNsStep float64
+	NewNsStep float64
+	StepRatio float64
 }
 
 // Compare matches results by name and flags every benchmark that got
@@ -274,24 +316,28 @@ type Delta struct {
 // Benchmarks present on only one side are skipped — a -short run may be
 // a subset of a full baseline.
 func Compare(old, new BenchFile, threshold float64) []Delta {
-	oldNs := make(map[string]float64, len(old.Results))
+	prev := make(map[string]BenchResult, len(old.Results))
 	for _, r := range old.Results {
-		oldNs[r.Name] = r.NsPerOp
+		prev[r.Name] = r
 	}
 	var deltas []Delta
 	for _, r := range new.Results {
-		prev, ok := oldNs[r.Name]
+		p, ok := prev[r.Name]
 		if !ok {
 			continue
 		}
-		ratio := r.NsPerOp / prev
-		deltas = append(deltas, Delta{
+		ratio := r.NsPerOp / p.NsPerOp
+		d := Delta{
 			Name:       r.Name,
-			OldNs:      prev,
+			OldNs:      p.NsPerOp,
 			NewNs:      r.NsPerOp,
 			Ratio:      ratio,
 			Regression: ratio > 1+threshold,
-		})
+		}
+		if os, ns := p.Extra["nsPerStep"], r.Extra["nsPerStep"]; os > 0 && ns > 0 {
+			d.OldNsStep, d.NewNsStep, d.StepRatio = os, ns, ns/os
+		}
+		deltas = append(deltas, d)
 	}
 	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
 	return deltas

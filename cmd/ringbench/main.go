@@ -104,8 +104,13 @@ func run(args []string, out, errw io.Writer) error {
 			verdict = "REGRESSION"
 			regressions++
 		}
-		fmt.Fprintf(out, "%-28s %12.0f -> %10.0f ns/op  %+6.1f%%  %s\n",
-			d.Name, d.OldNs, d.NewNs, 100*(d.Ratio-1), verdict)
+		perStep := ""
+		if d.StepRatio > 0 {
+			perStep = fmt.Sprintf("  [%.0f -> %.0f ns/step, %+.1f%%]",
+				d.OldNsStep, d.NewNsStep, 100*(d.StepRatio-1))
+		}
+		fmt.Fprintf(out, "%-28s %12.0f -> %10.0f ns/op  %+6.1f%%  %s%s\n",
+			d.Name, d.OldNs, d.NewNs, 100*(d.Ratio-1), verdict, perStep)
 	}
 	if regressions > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s", regressions, 100**threshold, basePath)

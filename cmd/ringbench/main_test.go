@@ -86,6 +86,38 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+// TestComparePerStep pins the step-granular side channel: deltas carry
+// nsPerStep numbers exactly when both sides publish them, and the
+// regression verdict stays based on ns/op.
+func TestComparePerStep(t *testing.T) {
+	old := validFile()
+	old.Results = []BenchResult{
+		{Name: "bigring_step/C1/m1e6", Iters: 1, NsPerOp: 1000, Extra: map[string]float64{"nsPerStep": 1000}},
+		{Name: "solver/m64", Iters: 1, NsPerOp: 500},
+	}
+	new := validFile()
+	new.Results = []BenchResult{
+		{Name: "bigring_step/C1/m1e6", Iters: 1, NsPerOp: 2000, Extra: map[string]float64{"nsPerStep": 2000}},
+		{Name: "solver/m64", Iters: 1, NsPerOp: 500},
+	}
+	deltas := Compare(old, new, 0.25)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %+v, want 2", deltas)
+	}
+	for _, d := range deltas {
+		switch d.Name {
+		case "bigring_step/C1/m1e6":
+			if d.StepRatio != 2 || d.OldNsStep != 1000 || d.NewNsStep != 2000 || !d.Regression {
+				t.Errorf("step delta = %+v, want 1000->2000 ns/step regression", d)
+			}
+		case "solver/m64":
+			if d.StepRatio != 0 || d.OldNsStep != 0 || d.NewNsStep != 0 {
+				t.Errorf("non-step delta carries step numbers: %+v", d)
+			}
+		}
+	}
+}
+
 func TestBenchFileRoundTripAndLatest(t *testing.T) {
 	dir := t.TempDir()
 	f1 := validFile()
@@ -132,10 +164,17 @@ func TestCommittedBaseline(t *testing.T) {
 	for _, r := range f.Results {
 		names[r.Name] = true
 	}
-	for _, want := range []string{
+	wanted := []string{
 		"engine_step/C1/m256", "engine_step/A2/m256", "canonicalize/m512",
 		"solver/m64", "cache_hit/schedule", "schedule_e2e/C1/m64",
-	} {
+	}
+	if f.Seq >= 2 {
+		// The big-ring suite joined the trajectory at seq 2.
+		wanted = append(wanted,
+			"bigring_step/C1/m1e5", "bigring_step/C1/m1e6",
+			"bigring_step/A2/m1e5", "bigring_step/A2/m1e6")
+	}
+	for _, want := range wanted {
 		if !names[want] {
 			t.Errorf("committed point lacks pinned benchmark %q", want)
 		}
@@ -161,8 +200,15 @@ func TestRunRecordsPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.Seq != 1 || !f.Short || len(f.Results) != 6 {
+	if f.Seq != 1 || !f.Short || len(f.Results) != 10 {
 		t.Fatalf("recorded point = seq %d short %v results %d", f.Seq, f.Short, len(f.Results))
+	}
+	for _, r := range f.Results {
+		if strings.HasPrefix(r.Name, "engine_step/") || strings.HasPrefix(r.Name, "bigring_step/") {
+			if r.Extra["nsPerStep"] <= 0 {
+				t.Errorf("%s: step benchmark without Extra[nsPerStep]: %+v", r.Name, r)
+			}
+		}
 	}
 }
 

@@ -57,6 +57,7 @@ func run(args []string, out, errw io.Writer) error {
 	traceOut := fs.String("trace-out", "", "write every run's event trace and metrics as JSONL to this file")
 	spansOut := fs.String("spans-out", "", "write one ringsched.span/v1 JSONL record per case (run + solver timings) to this file")
 	faults := fs.String("faults", "", `fault-injection "seed:spec" applied to every run, e.g. 7:loss=0.1,crashes=2 (see README)`)
+	engine := fs.String("engine", "pool", `simulation engine: "pool" or "bigring" (allocation-free flat-array engine; unit-job fault-free cases only, no -trace-out/-faults)`)
 	progress := fs.Bool("progress", false, "live suite status line (cases done / deadline hits / elapsed) on stderr")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address, e.g. localhost:6060")
 	if err := fs.Parse(args); err != nil {
@@ -107,6 +108,7 @@ func run(args []string, out, errw io.Writer) error {
 		Workers:       *workers,
 		SuiteDeadline: *suiteDeadline,
 		Faults:        *faults,
+		Engine:        *engine,
 	}
 	if *algs != "" {
 		o.Algorithms = strings.Split(*algs, ",")

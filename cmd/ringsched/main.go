@@ -12,6 +12,7 @@
 //	ringsched -in instance.json -alg cap -gantt
 //	ringsched -loads 60,0,0,0,0,0 -alg C2 -distributed
 //	ringsched -case III-m100-L10 -alg C1 -metrics -trace-out run.jsonl
+//	ringsched -loads 1000000,0,0,0 -alg C2 -engine bigring -metrics
 //	ringsched -loads 100,0,0,0,0,0,0,0 -alg A1 -faults 7:loss=0.1,dup=0.05,crashes=2
 package main
 
@@ -40,6 +41,7 @@ func run(args []string, out, errw io.Writer) error {
 	loads := fs.String("loads", "", "inline comma-separated unit loads, e.g. 100,0,0,25")
 	caseID := fs.String("case", "", "Table 1 case id, e.g. I-m100-point-huge")
 	algName := fs.String("alg", "C1", "algorithm: A1,B1,C1,A2,B2,C2 or cap (§7, unit-capacity links)")
+	engine := fs.String("engine", "pool", `engine: "pool" (general-purpose) or "bigring" (allocation-free flat-array engine for huge unit-job rings; no faults, capacities, traces or -distributed)`)
 	showOpt := fs.Bool("opt", false, "also compute the exact optimum / lower bound")
 	gantt := fs.Bool("gantt", false, "print a utilization heat map of the schedule")
 	distributed := fs.Bool("distributed", false, "run on the goroutine-per-processor runtime")
@@ -66,16 +68,38 @@ func run(args []string, out, errw io.Writer) error {
 	}
 
 	var alg ringsched.Algorithm
+	var spec ringsched.Spec
 	opts := ringsched.Options{Record: *gantt || *traceOut != ""}
 	if *algName == "cap" {
 		alg = capring.Algorithm{}
 		opts.LinkCapacity = 1
 	} else {
-		spec, err := ringsched.AlgorithmByName(*algName)
+		spec, err = ringsched.AlgorithmByName(*algName)
 		if err != nil {
 			return err
 		}
 		alg = spec
+	}
+
+	// The big-ring engine trades generality for scale: it runs only the
+	// bucket algorithms on fault-free unit instances and records no
+	// event trace, so every feature it cannot reproduce exactly is
+	// refused up front rather than silently ignored.
+	switch *engine {
+	case "pool":
+	case "bigring":
+		switch {
+		case *algName == "cap":
+			return fmt.Errorf("-engine=bigring supports only the bucket algorithms (A1..C2), not cap")
+		case *faults != "":
+			return fmt.Errorf("-engine=bigring does not support -faults; use the pool engine")
+		case *distributed:
+			return fmt.Errorf("-engine=bigring is incompatible with -distributed")
+		case *gantt || *traceOut != "":
+			return fmt.Errorf("-engine=bigring records no event trace; -gantt and -trace-out need the pool engine")
+		}
+	default:
+		return fmt.Errorf("unknown -engine %q (want pool or bigring)", *engine)
 	}
 
 	// Fault injection: bind the seeded plane to this ring, wrap the
@@ -99,7 +123,10 @@ func run(args []string, out, errw io.Writer) error {
 	var rm *ringsched.RingMetrics
 	var collectors []ringsched.Collector
 	if *showMetrics || *traceOut != "" {
-		rm = ringsched.NewRingMetrics(ringsched.MetricsOpts{Series: *traceOut != ""})
+		// On big-ring-scale instances the collector's per-step Gini sort
+		// (O(m log m)) would cost more than the engine step itself.
+		skipGini := *engine == "bigring" && in.M >= 100_000
+		rm = ringsched.NewRingMetrics(ringsched.MetricsOpts{Series: *traceOut != "", SkipGini: skipGini})
 		collectors = append(collectors, rm)
 	}
 	if *progress {
@@ -108,6 +135,19 @@ func run(args []string, out, errw io.Writer) error {
 	opts.Collector = ringsched.MultiCollector(collectors...)
 
 	fmt.Fprintf(out, "instance: %v   lower bound: %d\n", in, ringsched.LowerBound(in))
+
+	if *engine == "bigring" {
+		res, err := ringsched.ScheduleBigRing(in, spec, ringsched.BigRingOptions{Collector: opts.Collector})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s (big-ring engine): makespan=%d steps=%d jobhops=%d messages=%d utilization=%.1f%%\n",
+			res.Algorithm, res.Makespan, res.Steps, res.JobHops, res.Messages, 100*res.Utilization())
+		if err := emitObservability(out, rm, *showMetrics, "", *caseID, nil); err != nil {
+			return err
+		}
+		return maybeOpt(out, in, *showOpt, *algName, res.Makespan)
+	}
 
 	if *distributed {
 		dopts := ringsched.DistOptions{Collector: opts.Collector}
@@ -136,7 +176,11 @@ func run(args []string, out, errw io.Writer) error {
 	fmt.Fprintf(out, "%s: makespan=%d steps=%d jobhops=%d messages=%d utilization=%.1f%%\n",
 		res.Algorithm, res.Makespan, res.Steps, res.JobHops, res.Messages, 100*res.Utilization())
 	if *gantt && res.Trace != nil {
-		fmt.Fprint(out, res.Trace.GanttUtilization(72))
+		heat, err := res.Trace.RenderGantt(72)
+		if err != nil {
+			return fmt.Errorf("-gantt: %w", err)
+		}
+		fmt.Fprint(out, heat)
 	}
 	if plane != nil && res.Trace != nil {
 		// The trace is on hand anyway; prove the robustness invariants

@@ -1,0 +1,145 @@
+package bigring
+
+import (
+	"math"
+
+	"ringsched/internal/bucket"
+	"ringsched/internal/instance"
+)
+
+// RunFractional executes the splittable Basic Algorithm of §3 on the
+// big-ring engine's flat-array layout, returning exactly what
+// bucket.RunFractional returns — bit for bit: the per-visit expressions
+// and the clockwise-before-counter-clockwise sweep order are the same,
+// and within one direction buckets occupy distinct processors, so the
+// swap-removed alive lists cannot reorder any floating-point reduction.
+//
+// Two structural changes make it fit million-processor rings where the
+// reference implementation does not: bucket state lives in parallel
+// []float64/[]int64 arrays instead of a slice of structs, and the
+// per-processor completion time folds arrivals into a running rate-1
+// server (cur = max(cur, t) + d) instead of materializing per-processor
+// arrival lists — the fold visits arrivals in the identical (step,
+// clockwise-first) order the reference's lists record them in. After
+// the initial array allocations the sweep loop allocates nothing.
+func RunFractional(in instance.Instance, spec bucket.Spec) bucket.FracResult {
+	m := in.M
+	works := in.Works()
+	c := spec.Params().C
+
+	res := bucket.FracResult{
+		Accepted: make([]float64, m),
+		EmptyAt:  make([]int, m),
+	}
+	if m == 1 {
+		res.Accepted[0] = float64(works[0])
+		res.Makespan = float64(works[0])
+		return res
+	}
+
+	// Clockwise bucket of origin o is index o, counter-clockwise m+o,
+	// mirroring the integral engine's layout.
+	nb := m
+	if spec.Bidirectional {
+		nb = 2 * m
+	}
+	content := make([]float64, nb)
+	seen := make([]int64, nb)
+	per := make([]float64, nb)
+	cur := make([]float64, m) // per-processor rate-1 server fold
+	aliveCW := make([]int32, 0, m)
+	var aliveCCW []int32
+	if spec.Bidirectional {
+		aliveCCW = make([]int32, 0, m)
+	}
+	for i := 0; i < m; i++ {
+		if works[i] == 0 {
+			continue
+		}
+		if spec.Bidirectional {
+			half := float64(works[i]) / 2
+			content[i], content[m+i] = half, half
+			seen[i], seen[m+i] = works[i], works[i]
+			aliveCW = append(aliveCW, int32(i))
+			aliveCCW = append(aliveCCW, int32(m+i))
+		} else {
+			content[i] = float64(works[i])
+			seen[i] = works[i]
+			aliveCW = append(aliveCW, int32(i))
+		}
+	}
+
+	a := res.Accepted
+	const eps = 1e-9
+	// sweep advances one direction's buckets through step t. All
+	// buckets are born at step 0, so balancing mode is simply t >= m
+	// for every alive bucket, entered (per = content/m) at t == m.
+	sweep := func(alive []int32, cwDir bool, t int) []int32 {
+		tm := t % m
+		for idx := 0; idx < len(alive); {
+			b := int(alive[idx])
+			var j int
+			if cwDir {
+				j = b + tm
+				if j >= m {
+					j -= m
+				}
+			} else {
+				j = (b - m) - tm
+				if j < 0 {
+					j += m
+				}
+			}
+			w := content[b]
+			var d float64
+			if t >= m {
+				if t == m {
+					per[b] = w / float64(m)
+				}
+				d = math.Min(w, per[b])
+			} else {
+				if t > 0 {
+					seen[b] += works[j]
+				}
+				target := c * math.Sqrt(float64(seen[b]))
+				d = math.Min(w, math.Max(0, target-a[j]))
+			}
+			if d > 0 {
+				a[j] += d
+				if ft := float64(t); ft > cur[j] {
+					cur[j] = ft
+				}
+				cur[j] += d
+			}
+			w -= d
+			if w <= eps {
+				origin := b
+				if !cwDir {
+					origin = b - m
+				}
+				if t > res.EmptyAt[origin] {
+					res.EmptyAt[origin] = t
+				}
+				last := len(alive) - 1
+				alive[idx] = alive[last]
+				alive = alive[:last]
+			} else {
+				content[b] = w
+				idx++
+			}
+		}
+		return alive
+	}
+
+	for t := 0; len(aliveCW)+len(aliveCCW) > 0 && t <= 2*m+2; t++ {
+		aliveCW = sweep(aliveCW, true, t)
+		aliveCCW = sweep(aliveCCW, false, t)
+	}
+
+	for j := 0; j < m; j++ {
+		if cur[j] > res.Makespan {
+			res.Makespan = cur[j]
+		}
+	}
+	return res
+}

@@ -1,0 +1,135 @@
+// Allocation and timing assertions. Excluded under the race detector:
+// testing.AllocsPerRun is unreliable there (the detector itself
+// allocates) and wall-clock ratios are meaningless.
+
+//go:build !race
+
+package bigring
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ringsched/internal/bucket"
+	"ringsched/internal/sim"
+	"ringsched/internal/workload"
+)
+
+// TestStepAllocFree is the tentpole's core claim: after New, a complete
+// run — every Step call plus the Reset that rewinds it — performs zero
+// heap allocations with a nil Collector.
+func TestStepAllocFree(t *testing.T) {
+	for _, spec := range allSpecs() {
+		in := workload.Uniform(2048, 60, 9)
+		e, err := New(in, spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(3, func() {
+			e.Reset()
+			for !e.Step() {
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs per run, want 0", spec.Name(), allocs)
+		}
+	}
+}
+
+// TestStepFasterThanPoolEngine pins the performance floor the package
+// exists for: on a big ring the big-ring engine must advance a step at
+// least 5x faster than the pool engine. The structural gap is far
+// larger — the pool engine scans all m processors every step while the
+// big-ring engine touches only alive buckets (a point load has one) —
+// so the 5x bar holds with orders of magnitude to spare on any machine.
+func TestStepFasterThanPoolEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const m = 20000
+	const steps = 300
+	in := workload.Point(m, 40*int64(m)) // bucket stays alive well past `steps`
+
+	best := func(f func()) time.Duration {
+		bestD := time.Duration(1<<63 - 1)
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+
+	simTime := best(func() {
+		s, err := sim.NewStepper(in, bucket.C1(), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < steps; i++ {
+			if s.Step() {
+				t.Fatal("pool engine finished early")
+			}
+		}
+	})
+	bigTime := best(func() {
+		e, err := New(in, bucket.C1(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < steps; i++ {
+			if e.Step() {
+				t.Fatal("big-ring engine finished early")
+			}
+		}
+	})
+
+	if float64(simTime) < 5*float64(bigTime) {
+		t.Errorf("big-ring engine only %.1fx faster per step (pool %v vs bigring %v for %d steps at m=%d), want >= 5x",
+			float64(simTime)/float64(bigTime), simTime, bigTime, steps, m)
+	}
+}
+
+// BenchmarkBigRingStep is the package-local version of cmd/ringbench's
+// pinned bigring_step suite: steady-state stepping on a dense random
+// ring, Reset (not re-allocation) when a run completes. Expect 0 B/op.
+func BenchmarkBigRingStep(b *testing.B) {
+	for _, spec := range []bucket.Spec{bucket.C1(), bucket.A2()} {
+		for _, m := range []int{100_000, 1_000_000} {
+			b.Run(fmt.Sprintf("%s/m%d", spec.Name(), m), func(b *testing.B) {
+				e, err := New(workload.Uniform(m, 100, 7), spec, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if e.Step() {
+						e.Reset()
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFractional measures the vectorized Basic Algorithm against
+// its reference on a mid-size ring (the reference allocates per-arrival
+// records, so it is also an allocation comparison).
+func BenchmarkFractional(b *testing.B) {
+	in := workload.Uniform(10_000, 50, 3)
+	b.Run("bigring", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			RunFractional(in, bucket.C2())
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bucket.RunFractional(in, bucket.C2())
+		}
+	})
+}

@@ -144,6 +144,29 @@ func (s Spec) Name() string {
 	return name
 }
 
+// Params is the fully resolved, plain-data form of a Spec: every implicit
+// default (the variant's drop-off constant) is materialized, so an engine
+// that cannot afford per-visit branching on "is C zero?" — the flat-array
+// big-ring engine in internal/bigring — can consume it directly. Params
+// carries no behavior; the drop-rule semantics stay defined by this
+// package (Spec.NewNode and the exported Lemma1Target helper).
+type Params struct {
+	Variant        Variant
+	Bidirectional  bool
+	C              float64 // resolved constant, never zero
+	DirectRounding bool
+}
+
+// Params resolves the spec into its plain-data form.
+func (s Spec) Params() Params {
+	return Params{
+		Variant:        s.Variant,
+		Bidirectional:  s.Bidirectional,
+		C:              s.c(),
+		DirectRounding: s.DirectRounding,
+	}
+}
+
 // defaultC returns the variant's default constant: C uses Theorem 1's
 // 1.77; A and B use 1.0 (§6.1 describes both with unscaled targets — the
 // bare square root for A, the bare Lemma 1 bound for B).
@@ -161,9 +184,11 @@ func (s Spec) c() float64 {
 	return s.C
 }
 
-// lemma1Target is variant B's drop-off target: the Lemma 1 bound certified
-// by k processors holding X work.
-func lemma1Target(k int, X int64) float64 {
+// Lemma1Target is variant B's drop-off target: the Lemma 1 bound certified
+// by k processors holding X work, sqrt(((k-1)/2)^2 + X) - (k-1)/2. It is
+// exported so alternative engines (internal/bigring) reproduce variant B's
+// floating-point arithmetic bit for bit.
+func Lemma1Target(k int, X int64) float64 {
 	if X <= 0 {
 		return 0
 	}
@@ -393,7 +418,7 @@ func (n *node) dropAndForward(ctx sim.Ctx, b *meta, work int64, jobs []int64, di
 		}
 	case n.spec.Variant == VariantB:
 		k := b.hops + 1
-		if t := n.spec.c() * lemma1Target(k, b.seen); t > b.bestTarget {
+		if t := n.spec.c() * Lemma1Target(k, b.seen); t > b.bestTarget {
 			b.bestTarget = t
 		}
 		quota = int64(b.bestTarget) - n.aInt

@@ -367,15 +367,15 @@ func TestTakePayload(t *testing.T) {
 }
 
 func TestVariantBTargetMonotone(t *testing.T) {
-	if lemma1Target(1, 100) != 10 {
-		t.Errorf("lemma1Target(1,100) = %v", lemma1Target(1, 100))
+	if Lemma1Target(1, 100) != 10 {
+		t.Errorf("Lemma1Target(1,100) = %v", Lemma1Target(1, 100))
 	}
-	if lemma1Target(5, 0) != 0 {
-		t.Errorf("lemma1Target(5,0) = %v", lemma1Target(5, 0))
+	if Lemma1Target(5, 0) != 0 {
+		t.Errorf("Lemma1Target(5,0) = %v", Lemma1Target(5, 0))
 	}
 	// Wider window with same work certifies a weaker bound.
-	if lemma1Target(10, 100) >= lemma1Target(1, 100) {
-		t.Error("lemma1Target should decrease with k for fixed work")
+	if Lemma1Target(10, 100) >= Lemma1Target(1, 100) {
+		t.Error("Lemma1Target should decrease with k for fixed work")
 	}
 }
 

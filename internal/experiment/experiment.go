@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"ringsched/internal/bigring"
 	"ringsched/internal/bucket"
 	"ringsched/internal/fault"
 	"ringsched/internal/metrics"
@@ -153,6 +154,13 @@ type Options struct {
 	// bind (e.g. more crash-stops than the case's ring tolerates), are
 	// recorded as per-run errors.
 	Faults string
+	// Engine selects the simulation engine: "" or "pool" for the
+	// general-purpose pool engine; "bigring" for the allocation-free
+	// flat-array engine in internal/bigring (bit-identical results on
+	// unit-job fault-free cases, built for m = 10^6+ rings).
+	// Incompatible with TraceOut (bigring records no event trace) and
+	// Faults; sized cases are recorded as per-run errors.
+	Engine string
 	// Ctx, when non-nil, cancels the suite like RunSuiteContext's
 	// argument: in-flight solver searches fall back to their certified
 	// lower bounds at the next probe boundary, pending cases start with
@@ -223,6 +231,18 @@ type caseOutcome struct {
 // Simulation runs themselves are not interrupted (they are cheap next to
 // the solver), so a cancelled suite still returns a complete report.
 func RunSuiteContext(ctx context.Context, cases []workload.Case, o Options) (Report, error) {
+	switch o.Engine {
+	case "", "pool":
+	case "bigring":
+		if o.TraceOut != nil {
+			return Report{}, fmt.Errorf("experiment: the bigring engine records no event trace; TraceOut needs the pool engine")
+		}
+		if o.Faults != "" {
+			return Report{}, fmt.Errorf("experiment: the bigring engine does not support fault injection")
+		}
+	default:
+		return Report{}, fmt.Errorf("experiment: unknown engine %q (want pool or bigring)", o.Engine)
+	}
 	started := time.Now()
 	specs := make(map[string]bucket.Spec, len(o.algorithms()))
 	for _, name := range o.algorithms() {
@@ -404,9 +424,21 @@ func runCase(c workload.Case, algorithms []string, specs map[string]bucket.Spec,
 			simOpts.Faults = pl
 		}
 		runStart := time.Now()
-		res, err := sim.Run(c.In, alg, simOpts)
+		var res sim.Result
+		var err error
+		if o.Engine == "bigring" {
+			res, err = bigring.Run(c.In, specs[name], bigring.Options{Collector: simOpts.Collector})
+		} else {
+			res, err = sim.Run(c.In, alg, simOpts)
+		}
 		tr.Add(name, "", runStart, time.Since(runStart))
 		if err != nil {
+			if errors.Is(err, bigring.ErrUnsupported) {
+				// Outside the flat-array engine's domain (sized jobs):
+				// a per-run result on mixed suites, not a suite failure.
+				cr.Runs[name] = Run{Err: err.Error()}
+				continue
+			}
 			if errors.Is(err, sim.ErrNotQuiescent) {
 				// MaxSteps exhaustion is a result, not a suite failure:
 				// record it so the report can show which case/algorithm

@@ -74,6 +74,12 @@ type Opts struct {
 	// (memory proportional to the number of steps). Required for
 	// per-step JSONL export; aggregates work without it.
 	Series bool
+	// SkipGini drops the per-step Gini computation, the one part of
+	// Step that sorts the pool vector (O(m log m) per step). On
+	// million-processor rings that sort dominates collection cost, so
+	// the big-ring CLI path sets this for huge m; InitialGini, PeakGini
+	// and the per-step Gini series then read 0.
+	SkipGini bool
 }
 
 // Link identifies a directed ring link by its source processor and
@@ -231,7 +237,9 @@ func (r *Ring) Begin(run RunInfo) {
 	r.run = run
 	r.began = true
 	r.peakPool = make([]int64, run.M)
-	r.scratch = make([]int64, run.M)
+	if !r.opts.SkipGini {
+		r.scratch = make([]int64, run.M)
+	}
 	r.growLinks(2 * run.M)
 }
 
@@ -326,13 +334,16 @@ func (r *Ring) Step(s StepInfo) {
 	if imbalance > 1 {
 		r.lastUnbal = s.T
 	}
-	g := giniOf(s.Pools, r.scratch)
-	if !r.haveGini {
-		r.giniInit = g
-		r.haveGini = true
-	}
-	if g > r.giniPeak {
-		r.giniPeak = g
+	g := 0.0
+	if !r.opts.SkipGini {
+		g = giniOf(s.Pools, r.scratch)
+		if !r.haveGini {
+			r.giniInit = g
+			r.haveGini = true
+		}
+		if g > r.giniPeak {
+			r.giniPeak = g
+		}
 	}
 
 	if r.opts.Series {

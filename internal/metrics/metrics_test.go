@@ -119,6 +119,30 @@ func TestEmptyRunSummary(t *testing.T) {
 	}
 }
 
+// TestSkipGini pins the big-ring escape hatch: with SkipGini set the
+// collector never sorts the pool vector, the Gini aggregates and series
+// read 0, and everything else is unchanged.
+func TestSkipGini(t *testing.T) {
+	full := New(Opts{Series: true})
+	feedRun(full)
+	skip := New(Opts{Series: true, SkipGini: true})
+	feedRun(skip)
+
+	sf, ss := full.Summary(), skip.Summary()
+	if ss.InitialGini != 0 || ss.PeakGini != 0 {
+		t.Errorf("skipped gini aggregates = %v/%v, want 0/0", ss.InitialGini, ss.PeakGini)
+	}
+	for _, e := range skip.Series() {
+		if e.Gini != 0 {
+			t.Errorf("skipped series entry carries gini: %+v", e)
+		}
+	}
+	sf.InitialGini, sf.PeakGini = 0, 0
+	if sf != ss {
+		t.Errorf("SkipGini changed non-gini aggregates:\nfull: %+v\nskip: %+v", sf, ss)
+	}
+}
+
 func TestGini(t *testing.T) {
 	scratch := make([]int64, 8)
 	cases := []struct {

@@ -199,10 +199,15 @@ var errLeak = errors.New("sim: job payload leaked by Receive callback")
 
 // pool is the local store of processable work. total caches unit +
 // remaining + sum(jobs) so the hot loop never rescans the job queue.
+// The sized-job queue keeps a head cursor instead of reslicing away its
+// front so the backing array is reused once the queue drains — a pool
+// that cycles through many sized jobs allocates its queue once, not once
+// per refill.
 type pool struct {
 	unit      int64   // unit jobs
-	jobs      []int64 // sized jobs, FIFO
-	remaining int64   // remaining work of the sized job being processed
+	jobs      []int64 // sized jobs, FIFO; jobs[head:] are pending
+	head      int
+	remaining int64 // remaining work of the sized job being processed
 	total     int64
 }
 
@@ -212,14 +217,20 @@ func (q *pool) addUnit(n int64)   { q.unit += n; q.total += n }
 func (q *pool) addJob(size int64) { q.jobs = append(q.jobs, size); q.total += size }
 func (q *pool) takeUnit(n int64)  { q.unit -= n; q.total -= n }
 
+// pending returns the queued sized jobs (oldest first).
+func (q *pool) pending() []int64 { return q.jobs[q.head:] }
+
 // processOne consumes one unit of work; reports whether any was done.
 func (q *pool) processOne() bool {
 	switch {
 	case q.remaining > 0:
 		q.remaining--
-	case len(q.jobs) > 0:
-		q.remaining = q.jobs[0] - 1
-		q.jobs = q.jobs[1:]
+	case q.head < len(q.jobs):
+		q.remaining = q.jobs[q.head] - 1
+		q.head++
+		if q.head == len(q.jobs) {
+			q.jobs, q.head = q.jobs[:0], 0 // queue drained: recycle the array
+		}
 	case q.unit > 0:
 		q.unit--
 	default:
@@ -341,6 +352,10 @@ type engine struct {
 	top   ring.Topology
 	pools []pool
 	nodes []Node
+	// ctx is the runtime handle reused for every callback: the engine is
+	// single-threaded and callbacks never nest, so one mutable handle per
+	// run replaces one heap allocation per Start/Receive/Tick call.
+	ctx engineCtx
 	// pipeline[t % Transit] holds the packets delivered at step t (they
 	// were sent Transit steps earlier). With unit transit this is a
 	// simple two-slot rotation.
@@ -375,12 +390,53 @@ func (e *engine) emit(from int, p *Packet, now int64) {
 	e.record(Event{T: now, Kind: EvSend, Proc: from, Dir: p.Dir, Amount: p.payload(), JobCount: p.jobCount()})
 }
 
+// useCtx primes the engine's reusable runtime handle for one callback.
+func (e *engine) useCtx(me int, now int64, inRecv bool, pending int64) *engineCtx {
+	c := &e.ctx
+	c.me, c.now, c.inRecv, c.pending = me, now, inRecv, pending
+	return c
+}
+
 // Run simulates alg on in and returns the result. The error is non-nil if
 // the algorithm violates link capacity (capacitated runs), leaks work, or
 // fails to quiesce.
 func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
-	if err := in.Validate(); err != nil {
+	s, err := NewStepper(in, alg, opts)
+	if err != nil {
 		return Result{}, err
+	}
+	for !s.Step() {
+	}
+	return s.Result()
+}
+
+// Stepper drives a simulation one step at a time, exposing the exact
+// engine Run uses — same phase order, same delivery order, same
+// accounting — so differential tests and step-level benchmarks (the
+// internal/bigring equality suite, cmd/ringbench's step timings) can
+// observe or time individual steps without a run-to-completion wrapper.
+//
+// Call Step until it reports true, then read Result. Once the run has
+// completed (quiescence, an error, or the step limit), further Step
+// calls are no-ops.
+type Stepper struct {
+	e    *engine
+	in   instance.Instance
+	alg  Algorithm
+	res  Result
+	err  error
+	done bool
+
+	t        int64
+	maxSteps int64
+	linkLoad map[[2]int]int64 // directed link -> jobs this step (capacitated only)
+}
+
+// NewStepper validates the instance and builds the engine without
+// simulating any step. Options are interpreted exactly as by Run.
+func NewStepper(in instance.Instance, alg Algorithm, opts Options) (*Stepper, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
 	}
 	m := in.M
 	e := &engine{
@@ -390,6 +446,7 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 		pipeline: make([][]transit, opts.transit()),
 		opts:     opts,
 	}
+	e.ctx.eng = e
 	if opts.Faults != nil {
 		e.fp = opts.Faults
 		e.linkSeq = make([]int64, 2*m)
@@ -432,22 +489,63 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 		e.nodes[i] = alg.NewNode(local)
 	}
 
-	res := Result{
-		Algorithm: alg.Name(),
-		BusySteps: make([]int64, m),
-		MaxPool:   make([]int64, m),
-		Processed: make([]int64, m),
+	s := &Stepper{
+		e:   e,
+		in:  in,
+		alg: alg,
+		res: Result{
+			Algorithm: alg.Name(),
+			BusySteps: make([]int64, m),
+			MaxPool:   make([]int64, m),
+			Processed: make([]int64, m),
+		},
+		maxSteps: maxSteps,
 	}
+	if opts.LinkCapacity > 0 {
+		s.linkLoad = make(map[[2]int]int64)
+	}
+	return s, nil
+}
 
-	linkLoad := make(map[[2]int]int64) // directed link -> jobs this step
+// Done reports whether the run has completed (including by error).
+func (s *Stepper) Done() bool { return s.done }
 
-	for t := int64(0); ; t++ {
-		if t > maxSteps {
-			return res, fmt.Errorf("%w (t=%d, alg=%s)", ErrNotQuiescent, t, alg.Name())
+// Err returns the error the run stopped with, if any.
+func (s *Stepper) Err() error { return s.err }
+
+// Now returns the next step to be simulated (the number of Step calls
+// that have done work so far).
+func (s *Stepper) Now() int64 { return s.t }
+
+// Result returns the run's outcome. It is meaningful once Done reports
+// true; the error is the same one Run would return.
+func (s *Stepper) Result() (Result, error) { return s.res, s.err }
+
+// fail records a terminal error and stops the run.
+func (s *Stepper) fail(err error) bool {
+	s.err = err
+	s.done = true
+	return true
+}
+
+// Step simulates one step (deliveries, processing, per-step logic and
+// packet flush) and reports whether the run has completed — by
+// quiescence, by error, or by exceeding the step limit. It performs no
+// per-step heap allocation beyond what the algorithm's own callbacks do.
+func (s *Stepper) Step() bool {
+	if s.done {
+		return true
+	}
+	e, alg, res, opts := s.e, s.alg, &s.res, s.e.opts
+	m := s.in.M
+	t := s.t
+	{
+		if t > s.maxSteps {
+			return s.fail(fmt.Errorf("%w (t=%d, alg=%s)", ErrNotQuiescent, t, alg.Name()))
 		}
 		if opts.Ctx != nil {
 			if err := opts.Ctx.Err(); err != nil {
-				return res, fmt.Errorf("sim: %w at t=%d (alg=%s): %w", ErrCanceled, t, alg.Name(), err)
+				return s.fail(fmt.Errorf("sim: %w at t=%d (alg=%s): %w", ErrCanceled, t, alg.Name(), err))
 			}
 		}
 
@@ -486,7 +584,7 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 					e.stallBuf[p] = nil
 					for _, tr := range buf {
 						if err := e.deliverOne(tr, t, alg.Name()); err != nil {
-							return res, err
+							return s.fail(err)
 						}
 					}
 				}
@@ -494,8 +592,7 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 		}
 		if t == 0 {
 			for i := 0; i < m; i++ {
-				ctx := &engineCtx{eng: e, me: i, now: 0}
-				e.nodes[i].Start(ctx)
+				e.nodes[i].Start(e.useCtx(i, 0, false, 0))
 			}
 			// Start must place exactly the instance's work: anything
 			// else silently corrupts every downstream metric.
@@ -506,9 +603,9 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 			for _, tr := range e.outbox {
 				placed += tr.p.payload()
 			}
-			if want := in.TotalWork(); placed != want {
-				return res, fmt.Errorf("sim: Start placed %d work, instance has %d (alg=%s)",
-					placed, want, alg.Name())
+			if want := s.in.TotalWork(); placed != want {
+				return s.fail(fmt.Errorf("sim: Start placed %d work, instance has %d (alg=%s)",
+					placed, want, alg.Name()))
 			}
 		} else {
 			// Deliver clockwise packets first for determinism.
@@ -522,7 +619,7 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 						continue
 					}
 					if err := e.deliverOne(tr, t, alg.Name()); err != nil {
-						return res, err
+						return s.fail(err)
 					}
 				}
 			}
@@ -560,19 +657,18 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 			if e.fp != nil && (e.dead[i] || e.fp.Stalled(i, t)) {
 				continue
 			}
-			ctx := &engineCtx{eng: e, me: i, now: t}
-			e.nodes[i].Tick(ctx)
+			e.nodes[i].Tick(e.useCtx(i, t, false, 0))
 		}
 
 		// Capacity accounting for everything sent this step.
 		if e.opts.LinkCapacity > 0 {
-			clear(linkLoad)
+			clear(s.linkLoad)
 			for _, tr := range e.outbox {
 				key := [2]int{tr.from, int(tr.p.Dir)}
-				linkLoad[key] += tr.p.jobCount()
-				if linkLoad[key] > e.opts.LinkCapacity {
-					return res, fmt.Errorf("%w: link (%d,%s) carried %d jobs at t=%d, alg=%s",
-						ErrCapacityViolation, tr.from, tr.p.Dir, linkLoad[key], t, alg.Name())
+				s.linkLoad[key] += tr.p.jobCount()
+				if s.linkLoad[key] > e.opts.LinkCapacity {
+					return s.fail(fmt.Errorf("%w: link (%d,%s) carried %d jobs at t=%d, alg=%s",
+						ErrCapacityViolation, tr.from, tr.p.Dir, s.linkLoad[key], t, alg.Name()))
 				}
 			}
 		}
@@ -639,20 +735,21 @@ func Run(in instance.Instance, alg Algorithm, opts Options) (Result, error) {
 		}
 
 		if quiescent(e) {
-			break
+			res.JobHops = e.jobHops
+			res.Messages = e.messages
+			res.Trace = e.trace
+			if e.trace != nil {
+				e.trace.Steps = res.Steps
+			}
+			if e.mc != nil {
+				e.mc.End()
+			}
+			s.done = true
+			return true
 		}
 	}
-
-	res.JobHops = e.jobHops
-	res.Messages = e.messages
-	res.Trace = e.trace
-	if e.trace != nil {
-		e.trace.Steps = res.Steps
-	}
-	if e.mc != nil {
-		e.mc.End()
-	}
-	return res, nil
+	s.t = t + 1
+	return false
 }
 
 // quiescent reports whether no processable or in-transit work remains.
@@ -746,7 +843,7 @@ func (e *engine) deliverOne(tr transit, t int64, alg string) error {
 	if e.mc != nil {
 		e.mc.Deliver(t, dest, tr.p.Dir, tr.p.payload(), tr.p.jobCount())
 	}
-	ctx := &engineCtx{eng: e, me: dest, now: t, inRecv: true, pending: tr.p.payload()}
+	ctx := e.useCtx(dest, t, true, tr.p.payload())
 	e.nodes[dest].Receive(ctx, tr.p)
 	if ctx.pending != 0 && e.fp == nil {
 		// Under fault injection the robust wrapper legitimately discards
@@ -765,7 +862,7 @@ func (e *engine) crash(proc int, t int64) {
 	e.dead[proc] = true
 	q := &e.pools[proc]
 	unit, rem := q.unit, q.remaining
-	jobs := append([]int64(nil), q.jobs...)
+	jobs := append([]int64(nil), q.pending()...)
 	if s, ok := e.nodes[proc].(Salvager); ok {
 		su, sj := s.SalvageOutstanding()
 		unit += su

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -179,18 +180,39 @@ func (tr *Trace) Verify(in instance.Instance) error {
 	return nil
 }
 
-// GanttUtilization renders a coarse text heat map of processor activity:
-// one row per processor, one column per bucket of steps, characters
-// ' .:-=+*#' by busy fraction. Useful for eyeballing schedules in examples.
-func (tr *Trace) GanttUtilization(cols int) string {
+// MaxGanttCells bounds the busy matrix RenderGantt materializes
+// (processors × columns, one int64 per cell). The utilization heat map
+// exists to be read by a human, which a million-row rendering never is —
+// and materializing it for a big ring costs gigabytes. 2^22 cells keeps
+// the matrix under 34 MB; rings up to tens of thousands of processors
+// render at the default 60 columns, and anything larger must be refused
+// rather than OOM the process.
+const MaxGanttCells = 1 << 22
+
+// ErrTraceTooLarge reports that a rendering would materialize more than
+// MaxGanttCells cells. Callers pointing -gantt or -trace-out at a
+// big-ring run should drop the rendering (or aggregate externally)
+// instead of retrying.
+var ErrTraceTooLarge = errors.New("sim: trace rendering exceeds MaxGanttCells")
+
+// RenderGantt renders a coarse text heat map of processor activity: one
+// row per processor, one column per bucket of steps, characters
+// ' .:-=+*#' by busy fraction. It refuses (wrapping ErrTraceTooLarge)
+// when the M×cols busy matrix would exceed MaxGanttCells, so a trace
+// recorded on a huge ring cannot OOM the renderer.
+func (tr *Trace) RenderGantt(cols int) (string, error) {
 	if tr == nil || tr.Steps == 0 {
-		return "(empty trace)\n"
+		return "(empty trace)\n", nil
 	}
 	if cols < 1 {
 		cols = 60
 	}
 	if int64(cols) > tr.Steps {
 		cols = int(tr.Steps)
+	}
+	if int64(tr.M)*int64(cols) > MaxGanttCells {
+		return "", fmt.Errorf("%w: %d processors x %d columns (max %d cells)",
+			ErrTraceTooLarge, tr.M, cols, int64(MaxGanttCells))
 	}
 	busy := make([][]int64, tr.M)
 	for i := range busy {
@@ -217,5 +239,16 @@ func (tr *Trace) GanttUtilization(cols int) string {
 		}
 		fmt.Fprintf(&b, "%4d |%s|\n", i, row)
 	}
-	return b.String()
+	return b.String(), nil
+}
+
+// GanttUtilization is RenderGantt for callers that cannot propagate an
+// error (examples, quick dumps): an oversized trace renders as a
+// one-line refusal instead of a heat map.
+func (tr *Trace) GanttUtilization(cols int) string {
+	s, err := tr.RenderGantt(cols)
+	if err != nil {
+		return fmt.Sprintf("(%v)\n", err)
+	}
+	return s
 }

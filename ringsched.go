@@ -48,6 +48,7 @@ import (
 	"io"
 
 	"ringsched/internal/adversary"
+	"ringsched/internal/bigring"
 	"ringsched/internal/bucket"
 	"ringsched/internal/capring"
 	"ringsched/internal/dist"
@@ -101,6 +102,9 @@ var (
 	// ErrLimitExceeded: a computation was refused or degraded because it
 	// exceeded a configured limit (solver budgets, serve admission caps).
 	ErrLimitExceeded = opt.ErrLimitExceeded
+	// ErrTraceTooLarge: a trace rendering (Trace.RenderGantt) was refused
+	// because it would materialize more than sim.MaxGanttCells cells.
+	ErrTraceTooLarge = sim.ErrTraceTooLarge
 )
 
 // UnitInstance returns an instance with counts[i] unit-size jobs starting
@@ -171,6 +175,26 @@ type Trace = sim.Trace
 // returns the resulting schedule's metrics.
 func Schedule(in Instance, alg Algorithm, opts Options) (Result, error) {
 	return sim.Run(in, alg, opts)
+}
+
+// BigRingOptions configure ScheduleBigRing (a step limit and an
+// optional Collector; the big-ring engine supports nothing else).
+type BigRingOptions = bigring.Options
+
+// ErrBigRingUnsupported: the instance or options are outside the
+// big-ring engine's domain (sized jobs); use Schedule instead.
+var ErrBigRingUnsupported = bigring.ErrUnsupported
+
+// ScheduleBigRing runs one of the six bucket algorithms on the
+// allocation-free big-ring engine (internal/bigring): same results as
+// Schedule, bit for bit, on its domain — unit jobs, no faults, no link
+// capacity, speed and transit 1 — at a per-step cost proportional to
+// the number of travelling buckets rather than to the ring size, with
+// zero steady-state allocation. Built for m = 10^6 and beyond; it
+// refuses (wrapping ErrBigRingUnsupported) anything it cannot
+// reproduce exactly.
+func ScheduleBigRing(in Instance, spec Spec, opts BigRingOptions) (Result, error) {
+	return bigring.Run(in, spec, opts)
 }
 
 // Collector receives the engine's observability stream — per-packet
