@@ -9,6 +9,7 @@
 //	POST /v1/optimal   exact solver under limits (maxArcs, deadlineMs)
 //	POST /v1/compare   algorithms scored against the exact optimum
 //	GET  /v1/healthz   liveness
+//	GET  /v1/readyz    readiness (503 while starting or draining)
 //	GET  /v1/statusz   counters, cache hit-rate, queue depth, p50/p90/p99 latency
 //	GET  /metrics      Prometheus text exposition (counters, gauges, histograms)
 //
@@ -16,14 +17,22 @@
 // with -access-log, emits one ringsched.span/v1 JSONL record tracing
 // canonicalize → cache → queue → compute → encode.
 //
+// With -peers, the daemon joins a multi-node cluster: the members shard
+// the canonical-fingerprint keyspace by rendezvous hashing, forward
+// cache misses to each key's owner under a retry/backoff/circuit-breaker
+// envelope, and degrade to local compute when the owner is down.
+//
 // Examples:
 //
 //	ringserve -addr :8372
 //	curl -s localhost:8372/v1/schedule -d '{"instance":{"kind":"unit","m":4,"unit":[9,0,0,3]},"algorithm":"C1"}'
 //	ringserve -selftest -requests 400 -clients 8 -access-log spans.jsonl
+//	ringserve -addr :8381 -peers 127.0.0.1:8381,127.0.0.1:8382,127.0.0.1:8383
+//	ringserve -cluster-selftest -requests 600 -seed 7
 //
-// The daemon drains gracefully on SIGTERM/SIGINT: the listener closes,
-// in-flight requests finish, the compute pool empties, then it exits.
+// The daemon drains gracefully on SIGTERM/SIGINT: readiness flips to
+// 503, the listener closes, in-flight requests finish, the compute pool
+// empties, then it exits.
 package main
 
 import (
@@ -34,9 +43,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"ringsched/internal/cluster"
 	"ringsched/internal/serve"
 )
 
@@ -61,6 +72,14 @@ func run(args []string, out, errw io.Writer) error {
 	requests := fs.Int("requests", 0, "selftest: total requests (0 = 400)")
 	clients := fs.Int("clients", 0, "selftest: concurrent clients (0 = 8)")
 	seed := fs.Int64("seed", 1, "selftest: rng seed for the zipf mix and rotations")
+	peers := fs.String("peers", "", "comma-separated advertised addresses of every cluster member (enables multi-node mode)")
+	advertise := fs.String("advertise", "", "this node's advertised address in -peers (default: -addr)")
+	peerTimeout := fs.Duration("peer-timeout", 0, "cluster: per-attempt peer call timeout (0 = 2s)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "cluster: consecutive failures opening a peer's breaker (0 = 3)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "cluster: open-breaker wait before a half-open trial (0 = 2s)")
+	healthInterval := fs.Duration("health-interval", 0, "cluster: readiness probe interval (0 = 500ms)")
+	clusterSelftest := fs.Bool("cluster-selftest", false, "run the 3-node crash-stop drill (coalescing, kill+restart, 100% success) and exit")
+	p99Bound := fs.Duration("p99-bound", 0, "cluster-selftest: client-visible p99 latency bound (0 = 2s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,18 +115,53 @@ func run(args []string, out, errw io.Writer) error {
 			Seed:     *seed,
 		}, out)
 	}
+	if *clusterSelftest {
+		return cluster.SelfTest(cfg, cluster.SelfTestOptions{
+			Requests: *requests,
+			Clients:  *clients,
+			Seed:     *seed,
+			P99Bound: *p99Bound,
+		}, out)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stop()
 
-	s := serve.New(cfg)
 	ln, err := serve.Listen(*addr)
 	if err != nil {
 		return err
 	}
+	start := time.Now()
+
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = *addr
+		}
+		node := cluster.New(cluster.Config{
+			Self:             self,
+			Peers:            strings.Split(*peers, ","),
+			PeerTimeout:      *peerTimeout,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+			HealthInterval:   *healthInterval,
+			Seed:             *seed,
+		}, cfg)
+		fmt.Fprintf(errw, "ringserve: cluster node %s listening on http://%s (peers=%s, workers=%d, drain on SIGTERM)\n",
+			self, ln.Addr(), *peers, effectiveWorkers(*workers))
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- node.Server().Serve(ctx, ln) }()
+		node.Start(ctx)
+		if err := <-serveDone; err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "ringserve: drained cleanly after %s\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	s := serve.New(cfg)
 	fmt.Fprintf(errw, "ringserve: listening on http://%s (workers=%d, drain on SIGTERM)\n",
 		ln.Addr(), effectiveWorkers(*workers))
-	start := time.Now()
 	if err := s.Serve(ctx, ln); err != nil {
 		return err
 	}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one peer's circuit-breaker position.
+type breakerState int
+
+const (
+	// breakerClosed: the peer is believed healthy; fetches flow.
+	breakerClosed breakerState = iota
+	// breakerOpen: consecutive failures crossed the threshold; the peer
+	// is treated as crash-stopped, excluded from shard ownership, and
+	// no fetches are sent until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen is implicit: an open breaker past its cooldown
+	// grants a single trial per cooldown window via allow(); the
+	// trial's outcome closes or re-opens it.
+)
+
+func (s breakerState) String() string {
+	if s == breakerOpen {
+		return "open"
+	}
+	return "closed"
+}
+
+// breaker is the per-peer circuit breaker and crash-stop detector in
+// one: consecutive failures — whether from live fetch traffic or from
+// the membership loop's readiness probes — open it; any success closes
+// it (re-admission). The health loop's steady probe trickle guarantees
+// recovery is noticed even on a peer that owns no hot keys.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // start of the current cooldown window
+	threshold int
+	cooldown  time.Duration
+	onOpen    func()
+	onClose   func()
+}
+
+// allow reports whether a fetch may be sent now. Closed always allows;
+// open allows one half-open trial per cooldown window (granting the
+// trial restarts the window, so a still-dead peer is retried at
+// cooldown rate rather than hammered).
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerClosed {
+		return true
+	}
+	if now.Sub(b.openedAt) >= b.cooldown {
+		b.openedAt = now
+		return true
+	}
+	return false
+}
+
+// success records a working peer call and closes an open breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.failures = 0
+	reopened := b.state == breakerOpen
+	b.state = breakerClosed
+	b.mu.Unlock()
+	if reopened && b.onClose != nil {
+		b.onClose()
+	}
+}
+
+// failure records a failed peer call; crossing the threshold (or
+// failing a half-open trial) opens the breaker.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	b.failures++
+	opened := false
+	if b.state == breakerClosed && b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+		opened = true
+	} else if b.state == breakerOpen {
+		// A failed half-open trial: restart the cooldown window.
+		b.openedAt = now
+	}
+	b.mu.Unlock()
+	if opened && b.onOpen != nil {
+		b.onOpen()
+	}
+}
+
+// snapshot returns the state and consecutive-failure count.
+func (b *breaker) snapshot() (breakerState, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.failures
+}
+
+// open reports whether the breaker is open (the peer is out of the
+// ownership set).
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen
+}

@@ -1,0 +1,37 @@
+// Package cluster is ringserve's multi-node mode: N peers shard the
+// canonical-fingerprint keyspace by rendezvous hashing, serve each
+// other's cache misses over the existing HTTP/JSON surface, and wrap
+// every peer call in a robustness envelope — per-attempt timeouts,
+// capped jittered exponential backoff honoring Retry-After, and a
+// per-peer circuit breaker that doubles as the crash-stop detector. A
+// node that cannot reach a key's owner degrades gracefully: it computes
+// the answer locally and serves it, trading cluster-wide dedup for
+// availability. The membership loop probes peer readiness the way the
+// fault plane's neighbor re-homing drives ring migration: an opened
+// breaker re-homes the peer's keys onto the surviving members, and a
+// successful probe re-admits it.
+package cluster
+
+import "hash/fnv"
+
+// owner picks the member that owns key by highest-random-weight
+// (rendezvous) hashing: every node scores each (member, key) pair with
+// FNV-64a and the highest score wins. All nodes agree on the owner for
+// any member set, and removing one member re-homes only that member's
+// keys — the property that makes breaker-driven membership changes
+// cheap (no global reshuffle, exactly the keys of the crashed node
+// migrate, like the ring re-homing around a crash-stopped processor).
+func owner(key string, members []string) string {
+	var best string
+	var bestScore uint64
+	for _, m := range members {
+		h := fnv.New64a()
+		h.Write([]byte(m))
+		h.Write([]byte{'|'})
+		h.Write([]byte(key))
+		if s := h.Sum64(); s > bestScore || best == "" {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import "sync/atomic"
+
+// ClusterStats counts one node's peer-to-peer serving activity: fetches
+// forwarded to the fingerprint's owning peer, the retry and failure
+// traffic of the robustness envelope around those calls, circuit-breaker
+// transitions, health-probe outcomes, and the degrade-to-local fallback.
+// Like ServeStats the block is per-node (the zero value is ready) and is
+// shared by every handler goroutine plus the membership loop.
+type ClusterStats struct {
+	fetches       atomic.Int64 // peer fetches that returned a usable body
+	fetchFailures atomic.Int64 // peer call attempts that errored (transport or 5xx)
+	retries       atomic.Int64 // extra attempts spent inside the retry envelope
+	degraded      atomic.Int64 // requests computed locally because the owner was unreachable
+	breakerOpens  atomic.Int64 // breaker transitions closed -> open (crash-stop suspected)
+	breakerCloses atomic.Int64 // breaker transitions open -> closed (peer re-admitted)
+	probes        atomic.Int64 // health-loop readiness probes issued
+	probeFailures atomic.Int64 // probes that failed (refused, timed out, or not-ready)
+}
+
+// Fetch records a successful peer fetch (a body came back).
+func (s *ClusterStats) Fetch() { s.fetches.Add(1) }
+
+// FetchFailure records one failed peer call attempt.
+func (s *ClusterStats) FetchFailure() { s.fetchFailures.Add(1) }
+
+// Retry records one extra attempt inside the backoff envelope.
+func (s *ClusterStats) Retry() { s.retries.Add(1) }
+
+// Degraded records a request answered by local compute because the
+// owning peer was down, the breaker was open, or retries were exhausted.
+func (s *ClusterStats) Degraded() { s.degraded.Add(1) }
+
+// BreakerOpen records a closed -> open breaker transition.
+func (s *ClusterStats) BreakerOpen() { s.breakerOpens.Add(1) }
+
+// BreakerClose records an open -> closed breaker transition.
+func (s *ClusterStats) BreakerClose() { s.breakerCloses.Add(1) }
+
+// Probe records one health-loop readiness probe.
+func (s *ClusterStats) Probe() { s.probes.Add(1) }
+
+// ProbeFailure records a health probe that did not come back ready.
+func (s *ClusterStats) ProbeFailure() { s.probeFailures.Add(1) }
+
+// ClusterSnapshot is a point-in-time copy of the cluster counters.
+type ClusterSnapshot struct {
+	Fetches       int64 `json:"peerFetches"`
+	FetchFailures int64 `json:"peerFetchFailures"`
+	Retries       int64 `json:"peerRetries"`
+	Degraded      int64 `json:"degraded"`
+	BreakerOpens  int64 `json:"breakerOpens"`
+	BreakerCloses int64 `json:"breakerCloses"`
+	Probes        int64 `json:"probes"`
+	ProbeFailures int64 `json:"probeFailures"`
+}
+
+// Snapshot returns the current counter values.
+func (s *ClusterStats) Snapshot() ClusterSnapshot {
+	return ClusterSnapshot{
+		Fetches:       s.fetches.Load(),
+		FetchFailures: s.fetchFailures.Load(),
+		Retries:       s.retries.Load(),
+		Degraded:      s.degraded.Load(),
+		BreakerOpens:  s.breakerOpens.Load(),
+		BreakerCloses: s.breakerCloses.Load(),
+		Probes:        s.probes.Load(),
+		ProbeFailures: s.probeFailures.Load(),
+	}
+}
+
+// Sub returns the counter deltas accumulated since an earlier snapshot.
+func (a ClusterSnapshot) Sub(b ClusterSnapshot) ClusterSnapshot {
+	return ClusterSnapshot{
+		Fetches:       a.Fetches - b.Fetches,
+		FetchFailures: a.FetchFailures - b.FetchFailures,
+		Retries:       a.Retries - b.Retries,
+		Degraded:      a.Degraded - b.Degraded,
+		BreakerOpens:  a.BreakerOpens - b.BreakerOpens,
+		BreakerCloses: a.BreakerCloses - b.BreakerCloses,
+		Probes:        a.Probes - b.Probes,
+		ProbeFailures: a.ProbeFailures - b.ProbeFailures,
+	}
+}

@@ -19,6 +19,9 @@ type ServeStats struct {
 	canceled   atomic.Int64 // requests abandoned by deadline/cancel
 	panicked   atomic.Int64 // worker panics isolated to one request
 	badRequest atomic.Int64 // malformed requests refused with 4xx
+	computes   atomic.Int64 // engine/solver runs actually executed on the pool
+	coalesced  atomic.Int64 // requests that shared another in-flight computation
+	peerServed atomic.Int64 // requests answered on behalf of a cluster peer
 }
 
 // Request records one accepted API request.
@@ -47,6 +50,20 @@ func (s *ServeStats) Panicked() { s.panicked.Add(1) }
 // admission caps.
 func (s *ServeStats) BadRequest() { s.badRequest.Add(1) }
 
+// Compute records one engine/solver run actually executed on the pool
+// (cache hits, coalesced followers and peer fetches never count: the
+// cluster-wide sum of this counter is the number of distinct
+// computations performed).
+func (s *ServeStats) Compute() { s.computes.Add(1) }
+
+// Coalesced records a request that waited on another request's
+// in-flight computation instead of starting its own.
+func (s *ServeStats) Coalesced() { s.coalesced.Add(1) }
+
+// PeerServed records a request this node answered on behalf of a
+// cluster peer (it arrived with the peer-forward header).
+func (s *ServeStats) PeerServed() { s.peerServed.Add(1) }
+
 // ServeSnapshot is a point-in-time copy of the serving counters.
 type ServeSnapshot struct {
 	Requests    int64 `json:"requests"`
@@ -57,6 +74,9 @@ type ServeSnapshot struct {
 	Canceled    int64 `json:"canceled"`
 	Panics      int64 `json:"panics"`
 	BadRequests int64 `json:"badRequests"`
+	Computes    int64 `json:"computes"`
+	Coalesced   int64 `json:"coalesced"`
+	PeerServed  int64 `json:"peerServed"`
 }
 
 // HitRate returns the cache hit fraction (0 when nothing was looked up).
@@ -79,6 +99,9 @@ func (s *ServeStats) Snapshot() ServeSnapshot {
 		Canceled:    s.canceled.Load(),
 		Panics:      s.panicked.Load(),
 		BadRequests: s.badRequest.Load(),
+		Computes:    s.computes.Load(),
+		Coalesced:   s.coalesced.Load(),
+		PeerServed:  s.peerServed.Load(),
 	}
 }
 
@@ -93,5 +116,8 @@ func (a ServeSnapshot) Sub(b ServeSnapshot) ServeSnapshot {
 		Canceled:    a.Canceled - b.Canceled,
 		Panics:      a.Panics - b.Panics,
 		BadRequests: a.BadRequests - b.BadRequests,
+		Computes:    a.Computes - b.Computes,
+		Coalesced:   a.Coalesced - b.Coalesced,
+		PeerServed:  a.PeerServed - b.PeerServed,
 	}
 }

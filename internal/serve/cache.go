@@ -73,6 +73,21 @@ func (c *cache) get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
+// peek is get without the hit/miss accounting: the singleflight leader
+// uses it to close the join-vs-finished race without double-counting
+// the lookup its request already made.
+func (c *cache) peek(key string) ([]byte, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
 // put inserts (or refreshes) a response body, evicting the shard's
 // least recently used entry when the shard is at capacity.
 func (c *cache) put(key string, body []byte) {

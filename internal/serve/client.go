@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ringsched/internal/instance"
+)
+
+// LoadClient is the retrying HTTP client behind the selftest load
+// generators (single-node and cluster). It treats 429 as backpressure,
+// not failure: it sleeps for the server's Retry-After hint plus jitter
+// and tries again. Transport errors fail over to the next base URL
+// immediately (a crashed node's traffic re-routes to survivors), and
+// 5xx answers retry with capped jittered exponential backoff. Only a
+// non-retryable status (4xx other than 429) or an exhausted attempt
+// budget surfaces as an error.
+type LoadClient struct {
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Bases are the node base URLs tried in rotation. At least one.
+	Bases []string
+	// MaxAttempts bounds total tries per request; 0 means 8.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff (also the Retry-After
+	// fallback when the header is absent); 0 means 25ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps any single sleep; 0 means 1s.
+	MaxBackoff time.Duration
+}
+
+// LoadResult is one successful request's outcome.
+type LoadResult struct {
+	Body    []byte
+	Cache   string // X-Ringserve-Cache verdict: hit|miss|coalesced|peer
+	Latency time.Duration
+	// Attempts counts tries including the successful one; Retried429
+	// counts how many were 429 backoff laps.
+	Attempts   int
+	Retried429 int
+}
+
+func (c *LoadClient) withDefaults() LoadClient {
+	out := *c
+	if out.HTTP == nil {
+		out.HTTP = http.DefaultClient
+	}
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 8
+	}
+	if out.BaseBackoff <= 0 {
+		out.BaseBackoff = 25 * time.Millisecond
+	}
+	if out.MaxBackoff <= 0 {
+		out.MaxBackoff = time.Second
+	}
+	return out
+}
+
+// PostSchedule issues one /v1/schedule call with the full retry
+// envelope. rng drives jitter and the starting base, so a seeded caller
+// gets a deterministic retry schedule.
+func (c *LoadClient) PostSchedule(rng *rand.Rand, in instance.Instance, alg string) (LoadResult, error) {
+	reqBody, err := json.Marshal(ScheduleRequest{Instance: in, Algorithm: alg})
+	if err != nil {
+		return LoadResult{}, err
+	}
+	return c.post(rng, "/v1/schedule", reqBody)
+}
+
+// post runs the retry loop for one request body against path.
+func (c *LoadClient) post(rng *rand.Rand, path string, reqBody []byte) (LoadResult, error) {
+	cl := c.withDefaults()
+	var res LoadResult
+	var lastErr error
+	base := rng.Intn(len(cl.Bases))
+	backoffs := 0 // failure laps, drives the exponential schedule
+	start := time.Now()
+	for attempt := 0; attempt < cl.MaxAttempts; attempt++ {
+		res.Attempts = attempt + 1
+		target := cl.Bases[(base+attempt)%len(cl.Bases)]
+		resp, err := cl.HTTP.Post(target+path, "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			// Transport failure: the node is gone or mid-restart. Fail
+			// over to the next base at once — no sleep, the work just
+			// re-routes.
+			lastErr = err
+			continue
+		}
+		body, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if readErr != nil {
+			lastErr = readErr
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			res.Body = body
+			res.Cache = resp.Header.Get("X-Ringserve-Cache")
+			res.Latency = time.Since(start)
+			return res, nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			// Backpressure is correct behavior under a burst: honor the
+			// advertised pause (with jitter, so a rejected burst does
+			// not re-arrive as a synchronized burst) and try again.
+			res.Retried429++
+			sleepJittered(rng, RetryAfterDelay(resp.Header, cl.BaseBackoff), cl.MaxBackoff)
+			lastErr = fmt.Errorf("%s: %s", target, resp.Status)
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("%s: %s: %s", target, resp.Status, bytes.TrimSpace(body))
+			time.Sleep(JitteredBackoff(rng, backoffs, cl.BaseBackoff, cl.MaxBackoff))
+			backoffs++
+		default:
+			return res, fmt.Errorf("loadclient: %s on %s: %s", resp.Status, path, bytes.TrimSpace(body))
+		}
+	}
+	return res, fmt.Errorf("loadclient: %d attempts exhausted on %s: %v", cl.MaxAttempts, path, lastErr)
+}
+
+// JitteredBackoff returns the attempt-th delay of a capped exponential
+// backoff schedule with ±50% jitter: base·2^attempt scaled by a random
+// factor in [0.5, 1.5), capped at ceil. rng supplies the jitter so
+// seeded callers stay deterministic.
+func JitteredBackoff(rng *rand.Rand, attempt int, base, ceil time.Duration) time.Duration {
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	jittered := time.Duration(float64(d) * (0.5 + rng.Float64()))
+	if jittered > ceil {
+		jittered = ceil
+	}
+	return jittered
+}
+
+// RetryAfterDelay reads a Retry-After header (delta-seconds form, the
+// form ringserve emits) and falls back to fallback when absent or
+// unparsable.
+func RetryAfterDelay(h http.Header, fallback time.Duration) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return fallback
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return fallback
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleepJittered sleeps for d scaled by ±50% jitter, capped at ceil.
+func sleepJittered(rng *rand.Rand, d, ceil time.Duration) {
+	jittered := time.Duration(float64(d) * (0.5 + rng.Float64()))
+	if jittered > ceil {
+		jittered = ceil
+	}
+	time.Sleep(jittered)
+}

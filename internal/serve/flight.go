@@ -1,0 +1,55 @@
+package serve
+
+import "sync"
+
+// flightGroup is the request-coalescing (singleflight) layer on the
+// respond path: on a cache miss, concurrent requests for the same cache
+// key — which, post-canonicalization, means any dihedral copies of one
+// instance under the same options — elect one leader to produce the
+// response body; the rest park on the call's done channel and replay
+// the leader's bytes. Unlike the classic singleflight, a leader failure
+// is NOT shared: followers wake with a nil body and loop back through
+// the cache/flight cycle, so one canceled or panicked leader cannot
+// poison the requests coalesced behind it.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight computation. body is written exactly once
+// (before done is closed) and read only after <-done, so the channel
+// close is the publication barrier.
+type flightCall struct {
+	done chan struct{}
+	body []byte // nil when the leader failed
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// join registers interest in key. The first caller for an idle key
+// becomes the leader (leader=true) and MUST eventually call leave;
+// later callers get the existing call to wait on.
+func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	return c, true
+}
+
+// leave ends a flight: the leader publishes its body (nil on failure)
+// and wakes every follower. The key is cleared first, so a request
+// arriving after leave starts a fresh flight instead of reading a
+// completed one.
+func (g *flightGroup) leave(key string, c *flightCall, body []byte) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.body = body
+	close(c.done)
+}

@@ -35,6 +35,9 @@ func (s *Server) writeProm(p *metrics.PromWriter) {
 	p.Counter("ringserve_cache_hits_total", "Responses served from the canonical result cache.", one(snap.CacheHits)...)
 	p.Counter("ringserve_cache_misses_total", "Responses computed because the cache had no entry.", one(snap.CacheMisses)...)
 	p.Counter("ringserve_cache_evictions_total", "Cache entries displaced by LRU pressure.", one(snap.Evictions)...)
+	p.Counter("ringserve_computes_total", "Engine/solver runs actually executed on the worker pool.", one(snap.Computes)...)
+	p.Counter("ringserve_coalesced_total", "Requests that shared another request's in-flight computation.", one(snap.Coalesced)...)
+	p.Counter("ringserve_peer_served_total", "Requests answered on behalf of a cluster peer.", one(snap.PeerServed)...)
 
 	p.Gauge("ringserve_workers", "Compute pool size.", one(int64(s.cfg.Workers))...)
 	p.Gauge("ringserve_workers_busy", "Workers currently executing a task.", one(s.pool.busyWorkers())...)
@@ -62,4 +65,8 @@ func (s *Server) writeProm(p *metrics.PromWriter) {
 	p.Counter("ringsched_solver_memo_hits_total", "Probes answered by the monotone feasibility memo.", one(solver.MemoHits)...)
 	p.Counter("ringsched_solver_warm_reuses_total", "Probes served by resetting a warm flow network.", one(solver.WarmReuses)...)
 	p.Counter("ringsched_solver_cold_builds_total", "Feasibility networks built from scratch.", one(solver.ColdBuilds)...)
+
+	if s.cfg.ExtraProm != nil {
+		s.cfg.ExtraProm(p)
+	}
 }

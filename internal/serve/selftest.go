@@ -3,7 +3,6 @@ package serve
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -81,11 +80,15 @@ func SelfTest(cfg Config, opts SelfTestOptions, out io.Writer) error {
 	var (
 		mu        sync.Mutex
 		samples   []sample
+		retried   int
 		bodies    = map[string][]byte{} // (case,alg) -> first body seen
 		mismatch  error
 		transport = &http.Transport{MaxIdleConnsPerHost: opts.Clients}
 	)
-	client := &http.Client{Transport: transport}
+	lc := &LoadClient{
+		HTTP:  &http.Client{Transport: transport},
+		Bases: []string{base},
+	}
 	before := s.Stats()
 
 	// Zipf over the case mix: rank-skewed popularity, exponent 1.7 — a
@@ -105,17 +108,18 @@ func SelfTest(cfg Config, opts SelfTestOptions, out io.Writer) error {
 				cs := mix[int(zipf.Uint64())]
 				alg := algs[rng.Intn(len(algs))]
 				in := dihedralCopy(cs.In, rng)
-				body, hit, lat, err := postSchedule(client, base, in, alg)
+				res, err := lc.PostSchedule(rng, in, alg)
 				mu.Lock()
 				if err != nil && mismatch == nil {
 					mismatch = err
 				}
 				if err == nil {
-					samples = append(samples, sample{latency: lat, hit: hit})
+					samples = append(samples, sample{latency: res.Latency, hit: res.Cache == "hit"})
+					retried += res.Retried429
 					k := cs.ID + "|" + alg
 					if prev, ok := bodies[k]; !ok {
-						bodies[k] = body
-					} else if !bytes.Equal(prev, body) && mismatch == nil {
+						bodies[k] = res.Body
+					} else if !bytes.Equal(prev, res.Body) && mismatch == nil {
 						mismatch = fmt.Errorf("serve: selftest: %s responses differ across dihedral copies", k)
 					}
 				}
@@ -162,8 +166,8 @@ func SelfTest(cfg Config, opts SelfTestOptions, out io.Writer) error {
 	fmt.Fprintf(out, "  latency     p50 %s  p99 %s\n", p50.Round(time.Microsecond), p99.Round(time.Microsecond))
 	fmt.Fprintf(out, "  cache       hit-rate %.1f%% (%d hits, %d misses, %d evictions)\n",
 		100*hitRate, delta.CacheHits, delta.CacheMisses, delta.Evictions)
-	fmt.Fprintf(out, "  rejected    %d  canceled %d  panics %d\n",
-		delta.Rejected, delta.Canceled, delta.Panics)
+	fmt.Fprintf(out, "  rejected    %d (client retried %d)  coalesced %d  canceled %d  panics %d\n",
+		delta.Rejected, retried, delta.Coalesced, delta.Canceled, delta.Panics)
 
 	if hitRate < 0.5 {
 		return fmt.Errorf("serve: selftest hit-rate %.1f%% below the 50%% bar", 100*hitRate)
@@ -182,32 +186,3 @@ func dihedralCopy(in instance.Instance, rng *rand.Rand) instance.Instance {
 	return out
 }
 
-// postSchedule issues one /v1/schedule call and reports the body, the
-// cache verdict and the request latency.
-func postSchedule(client *http.Client, base string, in instance.Instance, alg string) (body []byte, hit bool, lat time.Duration, err error) {
-	reqBody, err := json.Marshal(ScheduleRequest{Instance: in, Algorithm: alg})
-	if err != nil {
-		return nil, false, 0, err
-	}
-	start := time.Now()
-	resp, err := client.Post(base+"/v1/schedule", "application/json", bytes.NewReader(reqBody))
-	if err != nil {
-		return nil, false, 0, err
-	}
-	defer resp.Body.Close()
-	body, err = io.ReadAll(resp.Body)
-	lat = time.Since(start)
-	if err != nil {
-		return nil, false, lat, err
-	}
-	if resp.StatusCode == http.StatusTooManyRequests {
-		// Backpressure is correct behavior under a burst; retry once
-		// after the advertised pause rather than failing the run.
-		time.Sleep(50 * time.Millisecond)
-		return postSchedule(client, base, in, alg)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, false, lat, fmt.Errorf("serve: selftest: %s on %s: %s", resp.Status, alg, bytes.TrimSpace(body))
-	}
-	return body, resp.Header.Get("X-Ringserve-Cache") == "hit", lat, nil
-}

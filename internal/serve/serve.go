@@ -72,7 +72,34 @@ type Config struct {
 	// with engine/solver children, encode). Writes are whole-line
 	// atomic; the writer is shared by all handler goroutines.
 	AccessLog io.Writer
+	// Remote, when non-nil, is the cluster layer: on a cache miss the
+	// singleflight leader offers the request to Remote (which fetches
+	// the body from the key's owning peer) before computing locally.
+	// Requests that arrived with the peer-forward header never
+	// re-forward, so differing ownership views cannot loop.
+	Remote Remote
+	// ExtraProm, when non-nil, is called after the server's own
+	// families when rendering /metrics (the cluster layer appends its
+	// peer, breaker and degradation families here).
+	ExtraProm func(*metrics.PromWriter)
+	// ExtraStatus, when non-nil, contributes the "cluster" block of
+	// /v1/statusz.
+	ExtraStatus func() any
 }
+
+// Remote is the hook a cluster layer implements to serve cache misses
+// from the key's owning peer. Fetch returns the exact response body to
+// put on the wire (and in the local cache); ok=false means "compute
+// locally" — the key is self-owned, the owner is down or its breaker is
+// open, or the retry envelope was exhausted. Fetch must honor ctx.
+type Remote interface {
+	Fetch(ctx context.Context, endpoint, key string, req []byte) (body []byte, ok bool)
+}
+
+// PeerForwardHeader marks a request forwarded by a cluster peer: the
+// value is the forwarding node's advertised address. The receiving node
+// answers from its own cache/pool and never re-forwards.
+const PeerForwardHeader = "X-Ringserve-Peer"
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -113,11 +140,18 @@ type Server struct {
 	cfg       Config
 	pool      *pool
 	cache     *cache
+	flight    *flightGroup
 	mux       *http.ServeMux
 	start     time.Time
 	stats     *metrics.ServeStats
 	lat       map[string]*endpointLat
 	accessLog *metrics.SpanLog
+	// notReady and draining drive GET /v1/readyz: a node reports ready
+	// only when it has finished starting (SetReady) and is not shutting
+	// down. Load balancers and cluster peers stop routing on not-ready
+	// before in-flight work is cut off.
+	notReady atomic.Bool
+	draining atomic.Bool
 	// solverBase is the process-wide solver counter state at New time,
 	// so /metrics can attribute solver activity since this server came
 	// up (and stay deterministic for a fresh server).
@@ -146,6 +180,7 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		pool:       newPool(cfg.Workers, cfg.QueueDepth),
 		cache:      newCache(cfg.CacheEntries, cfg.CacheShards, stats),
+		flight:     newFlightGroup(),
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
 		stats:      stats,
@@ -160,6 +195,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/optimal", s.wrap("optimal", s.handleOptimal))
 	s.mux.HandleFunc("/v1/compare", s.wrap("compare", s.handleCompare))
 	s.mux.HandleFunc("/v1/healthz", s.wrap("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/v1/readyz", s.wrap("readyz", s.handleReadyz))
 	s.mux.HandleFunc("/v1/statusz", s.wrap("statusz", s.handleStatusz))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	liveServer.Store(s)
@@ -189,9 +225,22 @@ func (s *Server) expvarState() any {
 // Handler returns the daemon's HTTP handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// SetReady flips the startup half of readiness: a node built with New
+// is ready by default, and a cluster node calls SetReady(false) before
+// its membership loop runs, then SetReady(true) after the first health
+// sweep. Drain state is tracked separately and always wins.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// Ready reports whether /v1/readyz would answer 200: started and not
+// draining.
+func (s *Server) Ready() bool { return !s.notReady.Load() && !s.draining.Load() }
+
 // Close drains the compute pool: admission stops, queued work finishes,
 // workers exit. Idempotent.
-func (s *Server) Close() { s.pool.drain() }
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.pool.drain()
+}
 
 // Serve accepts connections on ln until ctx is cancelled, then shuts
 // down gracefully: stop accepting, let in-flight requests finish
@@ -202,6 +251,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
+		// Flip readiness before cutting the listener so peers and load
+		// balancers polling /v1/readyz stop routing first.
+		s.draining.Store(true)
 		shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
 		done <- srv.Shutdown(shCtx)
@@ -306,23 +358,108 @@ func (s *Server) timeout(ms int64) time.Duration {
 	return d
 }
 
-// respond is the shared miss path: check the cache under key, otherwise
-// run compute on the worker pool under a deadline and cache the
-// marshaled body. compute must be pure in the request (it runs on a
-// worker goroutine) and should honor ctx.
-func (s *Server) respond(w http.ResponseWriter, r *http.Request, key string, timeoutMs int64, compute func(ctx context.Context) (any, error)) {
+// computeSpec describes one cacheable computation on the respond path.
+type computeSpec struct {
+	// endpoint is the wire endpoint ("schedule"|"optimal"|"compare"),
+	// used to route a peer forward.
+	endpoint string
+	// key is the cache and coalescing identity.
+	key       string
+	timeoutMs int64
+	// peerReq is the canonical request body a peer can replay to
+	// produce byte-identical output; nil means "never forward".
+	peerReq []byte
+	// compute is the local computation; it runs on a worker goroutine,
+	// must be pure in the request, and should honor ctx.
+	compute func(ctx context.Context) (any, error)
+}
+
+// respond is the shared miss path: the cache first, then the
+// singleflight layer (concurrent requests for one key share a single
+// production), then — on the leading request only — either a peer fetch
+// when a cluster Remote is attached, or a local compute on the worker
+// pool. Followers replay the leader's bytes; a failed leader wakes them
+// to take their own lap rather than inheriting its error.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, spec computeSpec) {
 	s.stats.Request()
 	ri := info(r)
+	forwarded := r.Header.Get(PeerForwardHeader) != ""
+	if forwarded {
+		s.stats.PeerServed()
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(spec.timeoutMs))
+	defer cancel()
+
 	endLookup := ri.span("cache", "")
-	body, hit := s.cache.get(key)
+	body, hit := s.cache.get(spec.key)
 	endLookup()
 	if hit {
 		writeRaw(w, ri, http.StatusOK, "hit", body)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(timeoutMs))
-	defer cancel()
+	for {
+		call, leader := s.flight.join(spec.key)
+		if !leader {
+			s.stats.Coalesced()
+			select {
+			case <-ctx.Done():
+				s.stats.Canceled()
+				s.writeError(w, r, ctx.Err())
+				return
+			case <-call.done:
+			}
+			if call.body != nil {
+				writeRaw(w, ri, http.StatusOK, "coalesced", call.body)
+				return
+			}
+			// The leader failed; its error is its own (a canceled
+			// leader must not poison everyone queued behind it). Take
+			// another lap — this request may lead the next flight.
+			continue
+		}
+		// Leader. A previous leader may have finished between our cache
+		// lookup and our join; re-checking here closes that race, so a
+		// key is computed at most once while it stays cached.
+		if body, ok := s.cache.peek(spec.key); ok {
+			s.flight.leave(spec.key, call, body)
+			writeRaw(w, ri, http.StatusOK, "hit", body)
+			return
+		}
+		body, verdict, err := s.produce(ctx, ri, spec, forwarded)
+		if err == nil {
+			s.cache.put(spec.key, body)
+		}
+		s.flight.leave(spec.key, call, body)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, sim.ErrCanceled) {
+				s.stats.Canceled()
+			}
+			s.writeError(w, r, err)
+			return
+		}
+		writeRaw(w, ri, http.StatusOK, verdict, body)
+		return
+	}
+}
 
+// produce runs the leader's side of a flight: a peer fetch when the
+// request is shardable and a cluster Remote is attached, local compute
+// on the worker pool otherwise (including the graceful-degradation path
+// when the owner is unreachable — Remote reports ok=false and the
+// answer is computed here rather than failing the request). It returns
+// the wire body plus the X-Ringserve-Cache verdict.
+func (s *Server) produce(ctx context.Context, ri *reqInfo, spec computeSpec, forwarded bool) ([]byte, string, error) {
+	if rem := s.cfg.Remote; rem != nil && spec.peerReq != nil && !forwarded {
+		endPeer := ri.span("peer", "")
+		body, ok := rem.Fetch(ctx, spec.endpoint, spec.key, spec.peerReq)
+		endPeer()
+		if ok {
+			return body, "peer", nil
+		}
+		if ctx.Err() != nil {
+			return nil, "", ctx.Err()
+		}
+	}
 	type outcome struct {
 		body any
 		err  error
@@ -340,32 +477,45 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, key string, tim
 		var o outcome
 		o.err = guard(s.stats, func() error {
 			var err error
-			o.body, err = compute(ctx)
+			o.body, err = spec.compute(ctx)
 			return err
 		})
+		if o.err == nil {
+			s.stats.Compute()
+		}
 		ri.observeEngine(execStart, time.Since(execStart))
 		ch <- o
 	})
 	if !ok {
-		s.writeError(w, r, errQueueFull)
-		return
+		return nil, "", errQueueFull
 	}
 	select {
 	case <-ctx.Done():
-		s.stats.Canceled()
-		s.writeError(w, r, ctx.Err())
+		return nil, "", ctx.Err()
 	case o := <-ch:
 		if o.err != nil {
-			if errors.Is(o.err, context.Canceled) || errors.Is(o.err, context.DeadlineExceeded) || errors.Is(o.err, sim.ErrCanceled) {
-				s.stats.Canceled()
-			}
-			s.writeError(w, r, o.err)
-			return
+			return nil, "", o.err
 		}
-		if body := writeJSON(w, ri, http.StatusOK, "miss", o.body); body != nil {
-			s.cache.put(key, body)
+		endEnc := ri.span("encode", "")
+		b, err := json.Marshal(o.body)
+		endEnc()
+		if err != nil {
+			// Response types marshal by construction; treat failure as 500.
+			return nil, "", fmt.Errorf("serve: marshal failure: %v", err)
 		}
+		return append(b, '\n'), "miss", nil
 	}
+}
+
+// peerForm marshals the canonical request a peer would replay; nil (on
+// a marshal failure, which request types rule out by construction)
+// simply disables forwarding for this request.
+func peerForm(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil
+	}
+	return b
 }
 
 // ---- endpoints ----
@@ -422,9 +572,15 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		ident, req.Algorithm, req.Options.MaxSteps, req.Options.Distributed, req.Options.Bidirectional)
 
 	ri := info(r)
-	s.respond(w, r, key, req.Options.TimeoutMs, func(ctx context.Context) (any, error) {
-		defer ri.span("engine", "compute")()
-		return s.computeSchedule(ctx, runOn, fp, req)
+	s.respond(w, r, computeSpec{
+		endpoint:  "schedule",
+		key:       key,
+		timeoutMs: req.Options.TimeoutMs,
+		peerReq:   peerForm(ScheduleRequest{Instance: runOn, Algorithm: req.Algorithm, Options: req.Options, Arrivals: req.Arrivals}),
+		compute: func(ctx context.Context) (any, error) {
+			defer ri.span("engine", "compute")()
+			return s.computeSchedule(ctx, runOn, fp, req)
+		},
 	})
 }
 
@@ -534,17 +690,23 @@ func (s *Server) handleOptimal(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("optimal|%s|cap=%t|%s|exact=%t",
 		fp.String(), req.Capacitated, optKey(req.Limits), req.RequireExact)
 
-	s.respond(w, r, key, req.Limits.DeadlineMs, func(ctx context.Context) (any, error) {
-		defer ri.span("solver", "compute")()
-		resp, err := solveOptimal(ctx, can, fp, req.Capacitated, req.Limits)
-		if err != nil {
-			return nil, err
-		}
-		if req.RequireExact && !resp.Exact {
-			return nil, fmt.Errorf("serve: solver fell back to the %s lower bound %d under the given limits: %w",
-				resp.Method, resp.Length, opt.ErrLimitExceeded)
-		}
-		return resp, nil
+	s.respond(w, r, computeSpec{
+		endpoint:  "optimal",
+		key:       key,
+		timeoutMs: req.Limits.DeadlineMs,
+		peerReq:   peerForm(OptimalRequest{Instance: can, Capacitated: req.Capacitated, Limits: req.Limits, RequireExact: req.RequireExact}),
+		compute: func(ctx context.Context) (any, error) {
+			defer ri.span("solver", "compute")()
+			resp, err := solveOptimal(ctx, can, fp, req.Capacitated, req.Limits)
+			if err != nil {
+				return nil, err
+			}
+			if req.RequireExact && !resp.Exact {
+				return nil, fmt.Errorf("serve: solver fell back to the %s lower bound %d under the given limits: %w",
+					resp.Method, resp.Length, opt.ErrLimitExceeded)
+			}
+			return resp, nil
+		},
 	})
 }
 
@@ -605,51 +767,76 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	endCanon()
 	key := fmt.Sprintf("compare|%s|algs=%v|%s", fp.String(), algs, optKey(req.Limits))
 
-	s.respond(w, r, key, req.TimeoutMs, func(ctx context.Context) (any, error) {
-		endSolver := ri.span("solver", "compute")
-		optResp, err := solveOptimal(ctx, can, fp, false, req.Limits)
-		endSolver()
-		if err != nil {
-			return nil, err
-		}
-		defer ri.span("engine", "compute")()
-		resp := CompareResponse{
-			Schema:      Schema,
-			Fingerprint: fp.String(),
-			Opt:         optResp,
-			Runs:        make(map[string]CompareRun, len(algs)),
-		}
-		var bestSpan int64 = -1
-		for _, name := range algs {
-			spec, err := bucket.ByName(name)
-			if err != nil {
-				return nil, fmt.Errorf("%w: %v", errBadRequest, err)
-			}
-			res, err := sim.Run(can, spec, sim.Options{Ctx: ctx})
+	s.respond(w, r, computeSpec{
+		endpoint:  "compare",
+		key:       key,
+		timeoutMs: req.TimeoutMs,
+		peerReq:   peerForm(CompareRequest{Instance: can, Algorithms: algs, Limits: req.Limits, TimeoutMs: req.TimeoutMs}),
+		compute: func(ctx context.Context) (any, error) {
+			endSolver := ri.span("solver", "compute")
+			optResp, err := solveOptimal(ctx, can, fp, false, req.Limits)
+			endSolver()
 			if err != nil {
 				return nil, err
 			}
-			run := CompareRun{
-				Makespan: res.Makespan,
-				JobHops:  res.JobHops,
-				Messages: res.Messages,
+			defer ri.span("engine", "compute")()
+			resp := CompareResponse{
+				Schema:      Schema,
+				Fingerprint: fp.String(),
+				Opt:         optResp,
+				Runs:        make(map[string]CompareRun, len(algs)),
 			}
-			if optResp.Length > 0 {
-				run.Factor = float64(res.Makespan) / float64(optResp.Length)
+			var bestSpan int64 = -1
+			for _, name := range algs {
+				spec, err := bucket.ByName(name)
+				if err != nil {
+					return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+				}
+				res, err := sim.Run(can, spec, sim.Options{Ctx: ctx})
+				if err != nil {
+					return nil, err
+				}
+				run := CompareRun{
+					Makespan: res.Makespan,
+					JobHops:  res.JobHops,
+					Messages: res.Messages,
+				}
+				if optResp.Length > 0 {
+					run.Factor = float64(res.Makespan) / float64(optResp.Length)
+				}
+				resp.Runs[name] = run
+				if bestSpan < 0 || res.Makespan < bestSpan {
+					bestSpan = res.Makespan
+					resp.Best = name
+				}
 			}
-			resp.Runs[name] = run
-			if bestSpan < 0 || res.Makespan < bestSpan {
-				bestSpan = res.Makespan
-				resp.Best = name
-			}
-		}
-		return resp, nil
+			return resp, nil
+		},
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+// handleReadyz is GET /v1/readyz: distinct from /v1/healthz liveness,
+// it answers 503 while the node is starting (a cluster node holds
+// not-ready until its first health sweep completes) or draining, so
+// peers and load balancers stop routing before in-flight work is cut
+// off.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("{\"status\":\"draining\"}\n"))
+	case s.notReady.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("{\"status\":\"starting\"}\n"))
+	default:
+		w.Write([]byte("{\"status\":\"ready\"}\n"))
+	}
 }
 
 // statuszResponse is the live counter dump behind GET /v1/statusz.
@@ -663,8 +850,12 @@ type statuszResponse struct {
 	CacheEntries int                           `json:"cacheEntries"`
 	CacheCap     int                           `json:"cacheCap"`
 	HitRate      float64                       `json:"hitRate"`
+	Ready        bool                          `json:"ready"`
 	Counters     metrics.ServeSnapshot         `json:"counters"`
 	Latency      map[string]endpointLatencyOut `json:"latency"`
+	// Cluster is the cluster layer's status block (shard ownership,
+	// peer breaker states); absent on a single-node daemon.
+	Cluster any `json:"cluster,omitempty"`
 }
 
 // endpointLatencyOut is one endpoint's latency digest on the wire:
@@ -691,7 +882,7 @@ func (s *Server) latencyOut() map[string]endpointLatencyOut {
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	snap := s.stats.Snapshot()
-	writeJSON(w, info(r), http.StatusOK, "", statuszResponse{
+	resp := statuszResponse{
 		Schema:       Schema,
 		UptimeSec:    time.Since(s.start).Seconds(),
 		Workers:      s.cfg.Workers,
@@ -701,7 +892,12 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		CacheEntries: s.cache.len(),
 		CacheCap:     s.cfg.CacheEntries,
 		HitRate:      snap.HitRate(),
+		Ready:        s.Ready(),
 		Counters:     snap,
 		Latency:      s.latencyOut(),
-	})
+	}
+	if s.cfg.ExtraStatus != nil {
+		resp.Cluster = s.cfg.ExtraStatus()
+	}
+	writeJSON(w, info(r), http.StatusOK, "", resp)
 }
