@@ -212,11 +212,55 @@ func microSuite() []benchmark {
 		}}
 	}
 
-	return []benchmark{
+	// bigring_par: the span-parallel stepping mode at fixed worker
+	// counts. Same dense seeded rings as bigring_step, so w1 vs the
+	// sequential entry isolates dispatch overhead and w4/w8 measure the
+	// fork/join scaling. Workers is pinned explicitly — never GOMAXPROCS
+	// — so the trajectory compares like with like across machines (the
+	// env fingerprint still records how many CPUs backed the pinned
+	// goroutines; on a single-core box w4/w8 time-slice and the gain is
+	// only visible on multi-core runners).
+	bigStepPar := func(alg string, m int, label string, w int) benchmark {
+		name := fmt.Sprintf("bigring_par/%s/%s/w%d", alg, label, w)
+		return benchmark{name: name, run: func(minTime time.Duration) BenchResult {
+			spec, err := bucket.ByName(alg)
+			if err != nil {
+				panic(err)
+			}
+			e, err := bigring.New(workload.Uniform(m, 100, 7), spec, bigring.Options{Workers: w})
+			if err != nil {
+				panic(err)
+			}
+			defer e.Close()
+			res := measure(name, minTime, func(int) {
+				if e.Step() {
+					e.Reset()
+				}
+			})
+			res.Extra = map[string]float64{
+				"nsPerStep": res.NsPerOp,
+				"workers":   float64(e.Workers()),
+			}
+			return res
+		}}
+	}
+
+	benches := []benchmark{
 		engine("C1"), engine("A2"), canonical, solver,
 		bigStep("C1", 100_000, "m1e5"), bigStep("C1", 1_000_000, "m1e6"),
 		bigStep("A2", 100_000, "m1e5"), bigStep("A2", 1_000_000, "m1e6"),
 	}
+	for _, alg := range []string{"C1", "A2"} {
+		for _, sz := range []struct {
+			m     int
+			label string
+		}{{100_000, "m1e5"}, {1_000_000, "m1e6"}} {
+			for _, w := range []int{1, 4, 8} {
+				benches = append(benches, bigStepPar(alg, sz.m, sz.label, w))
+			}
+		}
+	}
+	return benches
 }
 
 // pinnedInstance is the macro benchmarks' base instance.

@@ -26,6 +26,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"ringsched/internal/serve"
@@ -75,6 +76,11 @@ func run(args []string, out, errw io.Writer) error {
 
 	benches := append(microSuite(), macroSuite()...)
 	for _, b := range benches {
+		// Isolate points from each other: the big-ring entries leave
+		// tens of MB of dead arrays behind, and without a collection
+		// here the GC debt they hand the next benchmark shows up as a
+		// phantom regression in whatever happens to run after them.
+		runtime.GC()
 		res := b.run(minTime)
 		point.Results = append(point.Results, res)
 		fmt.Fprintf(out, "%-28s %12.0f ns/op  (%d iters)\n", res.Name, res.NsPerOp, res.Iters)

@@ -174,6 +174,16 @@ func TestCommittedBaseline(t *testing.T) {
 			"bigring_step/C1/m1e5", "bigring_step/C1/m1e6",
 			"bigring_step/A2/m1e5", "bigring_step/A2/m1e6")
 	}
+	if f.Seq >= 3 {
+		// The span-parallel suite joined at seq 3.
+		for _, alg := range []string{"C1", "A2"} {
+			for _, sz := range []string{"m1e5", "m1e6"} {
+				for _, w := range []string{"w1", "w4", "w8"} {
+					wanted = append(wanted, "bigring_par/"+alg+"/"+sz+"/"+w)
+				}
+			}
+		}
+	}
 	for _, want := range wanted {
 		if !names[want] {
 			t.Errorf("committed point lacks pinned benchmark %q", want)
@@ -200,7 +210,7 @@ func TestRunRecordsPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.Seq != 1 || !f.Short || len(f.Results) != 10 {
+	if f.Seq != 1 || !f.Short || len(f.Results) != 22 {
 		t.Fatalf("recorded point = seq %d short %v results %d", f.Seq, f.Short, len(f.Results))
 	}
 	for _, r := range f.Results {

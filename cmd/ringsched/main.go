@@ -42,6 +42,7 @@ func run(args []string, out, errw io.Writer) error {
 	caseID := fs.String("case", "", "Table 1 case id, e.g. I-m100-point-huge")
 	algName := fs.String("alg", "C1", "algorithm: A1,B1,C1,A2,B2,C2 or cap (§7, unit-capacity links)")
 	engine := fs.String("engine", "pool", `engine: "pool" (general-purpose) or "bigring" (allocation-free flat-array engine for huge unit-job rings; no faults, capacities, traces or -distributed)`)
+	engineWorkers := fs.Int("engine-workers", 0, "bigring only: ring spans stepped in parallel (0 = GOMAXPROCS on huge rings, sequential otherwise; results identical at any count)")
 	showOpt := fs.Bool("opt", false, "also compute the exact optimum / lower bound")
 	gantt := fs.Bool("gantt", false, "print a utilization heat map of the schedule")
 	distributed := fs.Bool("distributed", false, "run on the goroutine-per-processor runtime")
@@ -87,6 +88,9 @@ func run(args []string, out, errw io.Writer) error {
 	// refused up front rather than silently ignored.
 	switch *engine {
 	case "pool":
+		if *engineWorkers != 0 {
+			return fmt.Errorf("-engine-workers applies only to -engine=bigring")
+		}
 	case "bigring":
 		switch {
 		case *algName == "cap":
@@ -137,7 +141,7 @@ func run(args []string, out, errw io.Writer) error {
 	fmt.Fprintf(out, "instance: %v   lower bound: %d\n", in, ringsched.LowerBound(in))
 
 	if *engine == "bigring" {
-		res, err := ringsched.ScheduleBigRing(in, spec, ringsched.BigRingOptions{Collector: opts.Collector})
+		res, err := ringsched.ScheduleBigRing(in, spec, ringsched.BigRingOptions{Collector: opts.Collector, Workers: *engineWorkers})
 		if err != nil {
 			return err
 		}

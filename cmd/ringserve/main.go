@@ -67,11 +67,14 @@ func run(args []string, out, errw io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "per-request compute deadline (0 = 30s)")
 	drain := fs.Duration("drain", 0, "graceful shutdown budget (0 = 30s)")
 	maxM := fs.Int("max-m", 0, "admission cap on ring size (0 = 100000)")
+	bigringThreshold := fs.Int("bigring-threshold", 0, "route sequential A1..C2 unit-job requests with m at or above this to the big-ring engine (0 = 100000, negative = never auto-route)")
+	bigringWorkers := fs.Int("bigring-workers", 0, "big-ring engine span parallelism per request (0 = engine default, 1 = sequential)")
 	accessLog := fs.String("access-log", "", "write one ringsched.span/v1 JSONL record per request to this file (\"-\" = stdout)")
 	selftest := fs.Bool("selftest", false, "run the built-in zipf load generator against a loopback daemon and exit")
 	requests := fs.Int("requests", 0, "selftest: total requests (0 = 400)")
 	clients := fs.Int("clients", 0, "selftest: concurrent clients (0 = 8)")
 	seed := fs.Int64("seed", 1, "selftest: rng seed for the zipf mix and rotations")
+	hugeM := fs.Int("selftest-huge-m", 0, "selftest/cluster-selftest: also schedule a dense ring of this many processors and require it to route to the big-ring engine (0 = skip)")
 	peers := fs.String("peers", "", "comma-separated advertised addresses of every cluster member (enables multi-node mode)")
 	advertise := fs.String("advertise", "", "this node's advertised address in -peers (default: -addr)")
 	peerTimeout := fs.Duration("peer-timeout", 0, "cluster: per-attempt peer call timeout (0 = 2s)")
@@ -88,12 +91,14 @@ func run(args []string, out, errw io.Writer) error {
 	}
 
 	cfg := serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheEntries,
-		RequestTimeout: *timeout,
-		DrainTimeout:   *drain,
-		MaxM:           *maxM,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cacheEntries,
+		RequestTimeout:   *timeout,
+		DrainTimeout:     *drain,
+		MaxM:             *maxM,
+		BigRingThreshold: *bigringThreshold,
+		BigRingWorkers:   *bigringWorkers,
 	}
 	if *accessLog != "" {
 		if *accessLog == "-" {
@@ -113,6 +118,7 @@ func run(args []string, out, errw io.Writer) error {
 			Requests: *requests,
 			Clients:  *clients,
 			Seed:     *seed,
+			HugeM:    *hugeM,
 		}, out)
 	}
 	if *clusterSelftest {
@@ -121,6 +127,7 @@ func run(args []string, out, errw io.Writer) error {
 			Clients:  *clients,
 			Seed:     *seed,
 			P99Bound: *p99Bound,
+			HugeM:    *hugeM,
 		}, out)
 	}
 

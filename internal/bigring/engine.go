@@ -1,7 +1,11 @@
-// Package bigring is the allocation-free big-ring engine: a sequential,
+// Package bigring is the allocation-free big-ring engine: a
 // struct-of-arrays execution of the six bucket algorithms (A1/B1/C1,
 // A2/B2/C2) and of the fractional Basic Algorithm, built for rings of a
-// million processors and beyond.
+// million processors and beyond. Steps run either as the classic
+// sequential alive-list sweep or — with Options.Workers > 1 — as a
+// span-partitioned fork/join over persistent worker goroutines
+// (parallel.go) that produces bit-identical results at every worker
+// count.
 //
 // The generic engine in internal/sim models arbitrary algorithms: every
 // bucket is a heap-allocated packet whose meta struct is copied on each
@@ -49,6 +53,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"ringsched/internal/bucket"
 	"ringsched/internal/instance"
@@ -74,9 +79,27 @@ type Options struct {
 	// snapshot per step, End). The snapshot costs one O(m) pass per
 	// step, so a collector turns the O(alive buckets) hot loop back
 	// into an O(m) one; a nil Collector costs one pointer comparison
-	// per visit and per step.
+	// per visit and per step. A collector also forces sequential
+	// stepping whatever Workers says: the telemetry stream is ordered.
 	Collector metrics.Collector
+	// Workers selects the stepping mode. 1 runs the classic sequential
+	// alive-list sweep; n > 1 partitions the ring into min(n, m)
+	// contiguous processor spans stepped by persistent worker
+	// goroutines (see parallel.go — results are bit-identical to
+	// sequential at every worker count, and Step stays allocation-free
+	// after the first call). 0 picks GOMAXPROCS, but stays sequential
+	// below ParallelMinM processors where the per-step fork/join and
+	// the span scans cost more than they save. Parallel engines hold
+	// goroutines until Close (Run closes for you).
+	Workers int
 }
+
+// ParallelMinM is the ring size below which Workers == 0 stays
+// sequential: the parallel mode scans every span slot each step (O(m)
+// per step, SIMD-friendly, instead of the sequential sweep's O(alive)),
+// which only pays off on big rings. An explicit Workers > 1 is always
+// honored, whatever m.
+const ParallelMinM = 1 << 16
 
 // Engine runs one instance under one bucket algorithm. Create it with
 // New, drive it with Step (or Run), read the outcome with Result, and
@@ -132,6 +155,20 @@ type Engine struct {
 
 	mc      metrics.Collector
 	mcPools []int64 // reused per-step pool snapshot (collector only)
+
+	// Parallel stepping state (workers > 1; see parallel.go). spanAt
+	// has workers+1 entries: worker w owns processors
+	// [spanAt[w], spanAt[w+1]). accs are the padded per-worker
+	// accumulators merged after each step; cmds/joins are the
+	// persistent fork/join channels, spawned lazily on the first
+	// parallel Step and released by Close.
+	workers int
+	spanAt  []int
+	accs    []parAcc
+	cmds    []chan parJob
+	joins   chan struct{}
+	spawned bool
+	closed  bool
 }
 
 // New validates the instance and builds an engine positioned before
@@ -171,13 +208,13 @@ func New(in instance.Instance, spec bucket.Spec, opts Options) (*Engine, error) 
 	case par.Variant == bucket.VariantA:
 		nInt += m // passed
 	case par.Variant == bucket.VariantB:
-		nInt += nb    // seen
-		nFloat += nb  // best
+		nInt += nb   // seen
+		nFloat += nb // best
 	case par.DirectRounding:
 		nInt += nb // seen
 	default: // variant C with the §4.1 I1/I2 shadow
-		nInt += 2 * nb            // seen, dropInt
-		nFloat += m + 2*nb        // aFrac, frac, dropFrac
+		nInt += 2 * nb     // seen, dropInt
+		nFloat += m + 2*nb // aFrac, frac, dropFrac
 	}
 	e.arenaI = make([]int64, nInt)
 	e.arenaF = make([]float64, nFloat)
@@ -206,9 +243,39 @@ func New(in instance.Instance, spec bucket.Spec, opts Options) (*Engine, error) 
 	}
 
 	e.x = append([]int64(nil), in.Unit...)
-	e.aliveCW = make([]int32, 0, m)
-	if par.Bidirectional {
-		e.aliveCCW = make([]int32, 0, m)
+
+	// Stepping mode: a collector needs the ordered sequential stream,
+	// auto (0) stays sequential below ParallelMinM, and the span count
+	// never exceeds m (each span must own at least one processor).
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if m < ParallelMinM {
+			w = 1
+		}
+	}
+	if e.mc != nil {
+		w = 1
+	}
+	if w > m {
+		w = m
+	}
+	e.workers = w
+	if w > 1 {
+		e.spanAt = make([]int, w+1)
+		for i := 0; i <= w; i++ {
+			e.spanAt[i] = i * m / w
+		}
+		e.accs = make([]parAcc, w)
+		e.cmds = make([]chan parJob, w-1)
+		e.joins = make(chan struct{}, w-1)
+	} else {
+		// The alive lists exist only on the sequential path; parallel
+		// stepping tracks liveness through content[b] > 0 instead.
+		e.aliveCW = make([]int32, 0, m)
+		if par.Bidirectional {
+			e.aliveCCW = make([]int32, 0, m)
+		}
 	}
 	if e.mc != nil {
 		e.mcPools = make([]int64, m)
@@ -225,9 +292,32 @@ func (e *Engine) Reset() {
 	if e.aliveCCW != nil {
 		e.aliveCCW = e.aliveCCW[:0]
 	}
+	for i := range e.accs {
+		e.accs[i] = parAcc{}
+	}
 	e.t, e.steps, e.maxCur, e.jobHops, e.messages = 0, 0, 0, 0, 0
 	e.done = false
 	e.err = nil
+}
+
+// Workers reports the engine's effective span count: 1 means the
+// sequential alive-list sweep, n > 1 means n-span parallel stepping.
+func (e *Engine) Workers() int { return e.workers }
+
+// Close releases the persistent span workers a parallel engine spawned.
+// Idempotent and safe on a sequential engine (where it is a no-op); the
+// engine must not be stepped again afterwards. Run closes for you —
+// call Close only when driving New/Step directly.
+func (e *Engine) Close() {
+	if e == nil || e.closed {
+		return
+	}
+	e.closed = true
+	if e.spawned {
+		for _, c := range e.cmds {
+			close(c)
+		}
+	}
 }
 
 // Done reports whether the run has completed (including by error).
@@ -263,6 +353,7 @@ func Run(in instance.Instance, spec bucket.Spec, opts Options) (sim.Result, erro
 	if err != nil {
 		return sim.Result{}, err
 	}
+	defer e.Close()
 	for !e.Step() {
 	}
 	return e.Result()
@@ -291,7 +382,19 @@ func (e *Engine) Step() bool {
 				Algorithm: e.name, M: e.m, Speed: 1, Transit: 1, TotalWork: e.total,
 			})
 		}
-		e.start()
+		if e.workers > 1 {
+			e.forkJoin(jobStart, 0)
+		} else {
+			e.start()
+		}
+	} else if e.workers > 1 {
+		// Two barriered phases: every clockwise visit of step t lands
+		// before any counter-clockwise one, exactly the sequential
+		// (and generic-engine) delivery order.
+		e.forkJoin(jobSweepCW, t)
+		if e.par.Bidirectional {
+			e.forkJoin(jobSweepCCW, t)
+		}
 	} else {
 		e.aliveCW = e.sweep(e.aliveCW, true, t)
 		if e.aliveCCW != nil {
@@ -299,7 +402,12 @@ func (e *Engine) Step() bool {
 		}
 	}
 
-	alive := len(e.aliveCW) + len(e.aliveCCW)
+	var alive int
+	if e.workers > 1 {
+		alive = e.mergeAccs()
+	} else {
+		alive = len(e.aliveCW) + len(e.aliveCCW)
+	}
 	if e.mc != nil {
 		e.emitStep(t)
 	}

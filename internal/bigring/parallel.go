@@ -1,0 +1,467 @@
+package bigring
+
+// Parallel stepping: the ring is partitioned into workers contiguous
+// processor spans, and every step runs as a fork/join over the spans.
+//
+// Why this is sound — and bit-identical to the sequential sweep:
+//
+//   - Within one direction at step t, the alive buckets occupy pairwise
+//     distinct processors (the property the sequential engine's
+//     swap-removal already relies on). A bucket's visit touches only
+//     its own per-bucket state (content, seen, best, frac, dropFrac,
+//     dropInt, perInt) and its processor's per-processor state (cur,
+//     aInt, maxPool, passed, aFrac), so the visits of one direction are
+//     pairwise independent: any execution order — including a parallel
+//     one — produces the same memory state. The only cross-bucket
+//     quantities (maxCur, jobHops, messages, the alive count) are a max
+//     and three sums, merged from per-worker accumulators after the
+//     join; int64 max and addition are order-independent.
+//   - Clockwise visits must all land before any counter-clockwise one
+//     (a CCW bucket at processor j reads cur/aInt/passed/aFrac that the
+//     CW visit at j may have changed — the generic engine delivers CW
+//     first). Each direction is therefore its own fork/join phase with
+//     a full barrier between them.
+//   - Positions are affine in t: at step t the clockwise bucket of
+//     origin o sits at (o+t) mod m and the counter-clockwise bucket m+o
+//     at (o-t) mod m. A worker's processor span [lo,hi) therefore maps
+//     to a contiguous (mod m) window of bucket indices that shifts one
+//     slot per step — the "halo exchange" at the span boundary
+//     degenerates to this one-slot window shift plus the step barrier,
+//     with no boundary buffer to fill. The window is walked as at most
+//     two segments contiguous in BOTH processor and bucket index, so
+//     each kernel is a flat pass over adjacent []int64 slots.
+//
+// Liveness is tracked through content[b] > 0 (a dying visit zeroes the
+// slot) instead of the sequential alive lists, so a span pass costs
+// O(span length) per step rather than O(alive). That trade is what
+// buys the contiguous, branch-predictable kernels below; it loses on
+// sparse rings (a lone point-load bucket), which is why Workers == 0
+// stays sequential under ParallelMinM and callers route only huge
+// instances here.
+//
+// The per-visit variant dispatch of the sequential path (the switch in
+// dropQuota) is hoisted out of the hot loop: each variant gets its own
+// span kernel with the drop-rule floating-point expressions copied
+// verbatim, so one step is a handful of monomorphic batched passes.
+//
+// Dispatch is allocation-free after the first parallel Step: workers-1
+// goroutines are spawned once (the coordinator runs span 0 inline) and
+// parked on per-worker channels; a step sends one small job value per
+// worker and phase, and channel transfers of such values do not touch
+// the heap. Close releases the goroutines.
+
+import (
+	"math"
+
+	"ringsched/internal/bucket"
+)
+
+// parJob is one phase's work order, sent by value to every worker.
+type parJob struct {
+	kind int8
+	t    int64
+}
+
+// The phase kinds: step 0's launch pass, then per-step clockwise and
+// counter-clockwise sweeps.
+const (
+	jobStart = int8(iota)
+	jobSweepCW
+	jobSweepCCW
+)
+
+// parAcc is one worker's per-step accumulator for the cross-bucket
+// reductions, padded so two workers never share a cache line.
+type parAcc struct {
+	maxCur   int64
+	jobHops  int64
+	messages int64
+	alive    int64
+	_        [4]int64
+}
+
+// spawn starts the persistent span workers (all but span 0, which the
+// coordinating goroutine runs inline). Called once, lazily, from the
+// first parallel Step — so New stays cheap for engines that are built
+// but never stepped.
+func (e *Engine) spawn() {
+	e.spawned = true
+	for i := range e.cmds {
+		c := make(chan parJob, 1)
+		e.cmds[i] = c
+		w := i + 1
+		go func() {
+			for job := range c {
+				e.runSpan(w, job)
+				e.joins <- struct{}{}
+			}
+		}()
+	}
+}
+
+// forkJoin runs one phase across all spans and returns when every span
+// has finished it. The channel send/receive pairs carry the
+// happens-before edges that make a phase's writes visible to the next
+// phase's readers (and to the coordinator).
+func (e *Engine) forkJoin(kind int8, t int64) {
+	if !e.spawned {
+		e.spawn()
+	}
+	job := parJob{kind: kind, t: t}
+	for _, c := range e.cmds {
+		c <- job
+	}
+	e.runSpan(0, job)
+	for range e.cmds {
+		<-e.joins
+	}
+}
+
+// mergeAccs folds every worker's step accumulator into the engine
+// totals, clears them for the next step, and returns the ring-wide
+// count of buckets still alive.
+func (e *Engine) mergeAccs() int {
+	var alive int64
+	for i := range e.accs {
+		a := &e.accs[i]
+		if a.maxCur > e.maxCur {
+			e.maxCur = a.maxCur
+		}
+		e.jobHops += a.jobHops
+		e.messages += a.messages
+		alive += a.alive
+		*a = parAcc{}
+	}
+	return int(alive)
+}
+
+// runSpan executes one phase on worker w's processor span.
+func (e *Engine) runSpan(w int, job parJob) {
+	acc := &e.accs[w]
+	lo, hi := e.spanAt[w], e.spanAt[w+1]
+	switch job.kind {
+	case jobStart:
+		e.startSpan(acc, lo, hi)
+	case jobSweepCW:
+		e.sweepSpan(acc, lo, hi, true, job.t)
+	default:
+		e.sweepSpan(acc, lo, hi, false, job.t)
+	}
+}
+
+// startSpan is start() restricted to origins [lo, hi): every step-0
+// visit of origin i touches only processor i and buckets i / m+i, so
+// origins partition cleanly. The clockwise launch stays before the
+// counter-clockwise one per origin, preserving the order in which the
+// second bucket observes the first one's deposit.
+func (e *Engine) startSpan(acc *parAcc, lo, hi int) {
+	m := e.m
+	variantA := e.par.Variant == bucket.VariantA
+	for i := lo; i < hi; i++ {
+		x := e.x[i]
+		if variantA {
+			e.passed[i] = x
+		}
+		if x == 0 {
+			continue
+		}
+		if !e.par.Bidirectional {
+			e.seed(i, x, float64(x))
+			e.launchSpan(acc, i, i, x)
+			continue
+		}
+		cwWork := (x + 1) / 2
+		e.seed(i, x, float64(x)/2)
+		e.seed(m+i, x, float64(x)/2)
+		e.launchSpan(acc, i, i, cwWork)
+		e.launchSpan(acc, m+i, i, x-cwWork)
+	}
+}
+
+// launchSpan is launch()'s parallel twin: the step-0 origin visit with
+// accumulator-based accounting, enrolling a surviving bucket by leaving
+// its remainder in content[b]. Step 0 always precedes the balancing
+// regime (parallel engines have m >= 2), so the quota is the variant
+// drop rule directly.
+func (e *Engine) launchSpan(acc *parAcc, b, origin int, w int64) {
+	quota := e.dropQuota(b, origin, w, 0, false)
+	if quota < 0 {
+		quota = 0
+	}
+	drop := w
+	if quota < drop {
+		drop = quota
+	}
+	if drop > 0 {
+		e.depositAcc(acc, origin, 0, drop)
+		if e.dropInt != nil {
+			e.dropInt[b] += drop
+		}
+	}
+	if rest := w - drop; rest > 0 {
+		e.content[b] = rest
+		acc.jobHops += rest
+		acc.alive++
+	}
+}
+
+// depositAcc is deposit() with the makespan fed through the worker's
+// accumulator instead of the shared field; everything else it writes is
+// owned by processor j for the duration of the phase.
+func (e *Engine) depositAcc(acc *parAcc, j int, t, w int64) {
+	c := e.cur[j]
+	if c < t {
+		c = t
+	}
+	c += w
+	e.cur[j] = c
+	e.aInt[j] += w
+	if c > acc.maxCur {
+		acc.maxCur = c
+	}
+	if p := c - t; p > e.maxPool[j] {
+		e.maxPool[j] = p
+	}
+}
+
+// sweepSpan advances one direction's buckets across the span's
+// processors for step t. The affine position map is inverted once: the
+// span's processor range [lo, hi) is split at the single point where
+// the bucket index wraps mod m, yielding at most two segments that are
+// contiguous in processor AND bucket index with a constant offset
+// between the two — the form the batched kernels want.
+func (e *Engine) sweepSpan(acc *parAcc, lo, hi int, cw bool, t int64) {
+	m := e.m
+	tm := int(t % int64(m))
+	var segs [2][3]int // {jStart, jEnd, bucketOffset}: b = j + offset
+	if cw {
+		// Clockwise bucket at processor j is b = (j - tm) mod m,
+		// wrapping at j == tm.
+		segs[0] = [3]int{lo, min(hi, tm), m - tm}
+		segs[1] = [3]int{max(lo, tm), hi, -tm}
+	} else {
+		// Counter-clockwise bucket at j is b = m + (j + tm) mod m,
+		// wrapping at j == m - tm.
+		segs[0] = [3]int{lo, min(hi, m-tm), m + tm}
+		segs[1] = [3]int{max(lo, m-tm), hi, tm}
+	}
+	balancing := t >= int64(m)
+	for _, sg := range segs {
+		j0, j1, off := sg[0], sg[1], sg[2]
+		if j0 >= j1 {
+			continue
+		}
+		switch {
+		case balancing:
+			e.spanBalance(acc, j0, j1, off, t)
+		case e.par.Variant == bucket.VariantA:
+			e.spanA(acc, j0, j1, off, t)
+		case e.par.Variant == bucket.VariantB:
+			e.spanB(acc, j0, j1, off, t)
+		case e.par.DirectRounding:
+			e.spanDR(acc, j0, j1, off, t)
+		default:
+			e.spanC(acc, j0, j1, off, t)
+		}
+	}
+}
+
+// Each span kernel below is one contiguous batched pass: bucket b =
+// j + off for j in [j0, j1), content[b] == 0 marking a dead slot. The
+// drop-rule floating-point expressions are copied verbatim from
+// dropQuota so parallel results stay bit-identical, and the shared
+// tail (clamp, deposit, forward-or-die) is inlined in each kernel to
+// keep the loops monomorphic.
+
+// spanA: variant A — target C*sqrt(work seen passing), minus the
+// current pool occupancy.
+func (e *Engine) spanA(acc *parAcc, j0, j1, off int, t int64) {
+	cpar := e.par.C
+	for j := j0; j < j1; j++ {
+		b := j + off
+		w := e.content[b]
+		if w == 0 {
+			continue
+		}
+		acc.messages++
+		p := e.passed[j] + w
+		e.passed[j] = p
+		target := cpar * math.Sqrt(float64(p))
+		pool := e.cur[j] - t
+		if pool < 0 {
+			pool = 0
+		}
+		quota := int64(target) - pool
+		if quota < 0 {
+			quota = 0
+		}
+		drop := w
+		if quota < drop {
+			drop = quota
+		}
+		if drop > 0 {
+			e.depositAcc(acc, j, t, drop)
+		}
+		if rest := w - drop; rest > 0 {
+			e.content[b] = rest
+			acc.jobHops += rest
+			acc.alive++
+		} else {
+			e.content[b] = 0
+		}
+	}
+}
+
+// spanB: variant B — the monotone Lemma 1 target over the segment seen
+// so far, minus the processor's cumulative intake.
+func (e *Engine) spanB(acc *parAcc, j0, j1, off int, t int64) {
+	cpar := e.par.C
+	k := int(t) + 1
+	for j := j0; j < j1; j++ {
+		b := j + off
+		w := e.content[b]
+		if w == 0 {
+			continue
+		}
+		acc.messages++
+		s := e.seen[b] + e.x[j]
+		e.seen[b] = s
+		if tb := cpar * bucket.Lemma1Target(k, s); tb > e.best[b] {
+			e.best[b] = tb
+		}
+		quota := int64(e.best[b]) - e.aInt[j]
+		if quota < 0 {
+			quota = 0
+		}
+		drop := w
+		if quota < drop {
+			drop = quota
+		}
+		if drop > 0 {
+			e.depositAcc(acc, j, t, drop)
+		}
+		if rest := w - drop; rest > 0 {
+			e.content[b] = rest
+			acc.jobHops += rest
+			acc.alive++
+		} else {
+			e.content[b] = 0
+		}
+	}
+}
+
+// spanDR: direct rounding — integer part of C*sqrt(seen) minus intake.
+func (e *Engine) spanDR(acc *parAcc, j0, j1, off int, t int64) {
+	cpar := e.par.C
+	for j := j0; j < j1; j++ {
+		b := j + off
+		w := e.content[b]
+		if w == 0 {
+			continue
+		}
+		acc.messages++
+		s := e.seen[b] + e.x[j]
+		e.seen[b] = s
+		quota := int64(cpar*math.Sqrt(float64(s))) - e.aInt[j]
+		if quota < 0 {
+			quota = 0
+		}
+		drop := w
+		if quota < drop {
+			drop = quota
+		}
+		if drop > 0 {
+			e.depositAcc(acc, j, t, drop)
+		}
+		if rest := w - drop; rest > 0 {
+			e.content[b] = rest
+			acc.jobHops += rest
+			acc.alive++
+		} else {
+			e.content[b] = 0
+		}
+	}
+}
+
+// spanC: variant C — the §4.1 integral algorithm with its fractional
+// I1/I2 shadow.
+func (e *Engine) spanC(acc *parAcc, j0, j1, off int, t int64) {
+	cpar := e.par.C
+	for j := j0; j < j1; j++ {
+		b := j + off
+		w := e.content[b]
+		if w == 0 {
+			continue
+		}
+		acc.messages++
+		s := e.seen[b] + e.x[j]
+		e.seen[b] = s
+		target := cpar * math.Sqrt(float64(s))
+		d := math.Min(e.frac[b], math.Max(0, target-e.aFrac[j]))
+		e.frac[b] -= d
+		e.dropFrac[b] += d
+		e.aFrac[j] += d
+		i1 := int64(math.Ceil(e.dropFrac[b])) - e.dropInt[b]
+		i2 := 1 + int64(math.Ceil(e.aFrac[j])) - e.aInt[j]
+		quota := i1
+		if i2 < i1 {
+			quota = i2
+		}
+		if quota < 0 {
+			quota = 0
+		}
+		drop := w
+		if quota < drop {
+			drop = quota
+		}
+		if drop > 0 {
+			e.depositAcc(acc, j, t, drop)
+			e.dropInt[b] += drop
+		}
+		if rest := w - drop; rest > 0 {
+			e.content[b] = rest
+			acc.jobHops += rest
+			acc.alive++
+		} else {
+			e.content[b] = 0
+		}
+	}
+}
+
+// spanBalance: the wrap-around regime (t >= m) shared by every variant
+// — ceil(remaining/m) per processor, fixed per bucket at t == m.
+func (e *Engine) spanBalance(acc *parAcc, j0, j1, off int, t int64) {
+	mm := int64(e.m)
+	atM := t == mm
+	dropInt := e.dropInt
+	for j := j0; j < j1; j++ {
+		b := j + off
+		w := e.content[b]
+		if w == 0 {
+			continue
+		}
+		acc.messages++
+		quota := e.perInt[b]
+		if atM {
+			quota = (w + mm - 1) / mm
+			e.perInt[b] = quota
+		}
+		drop := w
+		if quota < drop {
+			drop = quota
+		}
+		if drop > 0 {
+			e.depositAcc(acc, j, t, drop)
+			if dropInt != nil {
+				dropInt[b] += drop
+			}
+		}
+		if rest := w - drop; rest > 0 {
+			e.content[b] = rest
+			acc.jobHops += rest
+			acc.alive++
+		} else {
+			e.content[b] = 0
+		}
+	}
+}

@@ -37,6 +37,33 @@ func TestStepAllocFree(t *testing.T) {
 	}
 }
 
+// TestParallelStepAllocFree extends the zero-alloc claim to the
+// span-partitioned mode: after the first Step has spawned the
+// persistent workers, every further Step — fork, span sweeps, join,
+// merge — is allocation-free. AllocsPerRun's warmup run absorbs the
+// one-time spawn.
+func TestParallelStepAllocFree(t *testing.T) {
+	for _, spec := range []bucket.Spec{bucket.C1(), bucket.A2(), bucket.B2()} {
+		in := workload.Uniform(4096, 60, 9)
+		e, err := New(in, spec, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Workers() != 4 {
+			t.Fatalf("%s: Workers() = %d, want 4", spec.Name(), e.Workers())
+		}
+		allocs := testing.AllocsPerRun(3, func() {
+			e.Reset()
+			for !e.Step() {
+			}
+		})
+		e.Close()
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs per parallel run, want 0", spec.Name(), allocs)
+		}
+	}
+}
+
 // TestStepFasterThanPoolEngine pins the performance floor the package
 // exists for: on a big ring the big-ring engine must advance a step at
 // least 5x faster than the pool engine. The structural gap is far
@@ -111,6 +138,34 @@ func BenchmarkBigRingStep(b *testing.B) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkBigRingStepParallel is the package-local twin of
+// cmd/ringbench's bigring_par suite: steady-state stepping with the
+// ring split across persistent workers. On a single-core box the w>1
+// rows show dispatch overhead, not speedup; the ns/step ratio against
+// w1 is the number BENCH_0003 pins.
+func BenchmarkBigRingStepParallel(b *testing.B) {
+	for _, spec := range []bucket.Spec{bucket.C1(), bucket.A2()} {
+		for _, m := range []int{100_000, 1_000_000} {
+			for _, w := range []int{1, 4, 8} {
+				b.Run(fmt.Sprintf("%s/m%d/w%d", spec.Name(), m, w), func(b *testing.B) {
+					e, err := New(workload.Uniform(m, 100, 7), spec, Options{Workers: w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer e.Close()
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if e.Step() {
+							e.Reset()
+						}
+					}
+				})
+			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -34,6 +35,11 @@ type SelfTestOptions struct {
 	// P99Bound is the client-visible p99 latency the run must stay
 	// within despite the crash; 0 means 2s.
 	P99Bound time.Duration
+	// HugeM, when positive, adds a post-drill huge-instance phase: a
+	// dense unit ring of HugeM processors is scheduled through the
+	// cluster and must come back stamped engine=bigring (node admission
+	// caps and the routing threshold are widened to admit it).
+	HugeM int
 }
 
 func (o SelfTestOptions) withDefaults() SelfTestOptions {
@@ -73,6 +79,21 @@ type stNode struct {
 // cache re-warm on the restarted node.
 func SelfTest(scfg serve.Config, opts SelfTestOptions, out io.Writer) error {
 	opts = opts.withDefaults()
+	if opts.HugeM > 0 {
+		// Widen the admission caps and the routing threshold so the huge
+		// phase is admissible and demonstrably bigring-routed. Defaults
+		// go on first — widening must never pull a cap below its default.
+		scfg = scfg.WithDefaults()
+		if scfg.MaxM < opts.HugeM {
+			scfg.MaxM = opts.HugeM
+		}
+		if scfg.MaxTotalWork < 2*int64(opts.HugeM) {
+			scfg.MaxTotalWork = 2 * int64(opts.HugeM)
+		}
+		if scfg.BigRingThreshold == 0 || scfg.BigRingThreshold > opts.HugeM {
+			scfg.BigRingThreshold = opts.HugeM
+		}
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	// Three listeners first: every node needs the full address list.
@@ -309,6 +330,43 @@ func SelfTest(scfg serve.Config, opts SelfTestOptions, out io.Writer) error {
 	}
 	if rewarm == 0 {
 		return fmt.Errorf("cluster: selftest: restarted node served no computes — cache never re-warmed")
+	}
+
+	// Huge-instance phase: with the whole cluster healthy again, one
+	// dense HugeM-processor ring must route to the big-ring engine on
+	// whichever node owns its key.
+	if opts.HugeM > 0 {
+		crng := rand.New(rand.NewSource(opts.Seed + 104729))
+		works := make([]int64, opts.HugeM)
+		for i := range works {
+			works[i] = 2
+		}
+		lc := &serve.LoadClient{
+			Bases:       bases,
+			MaxAttempts: 6,
+			BaseBackoff: 10 * time.Millisecond,
+			MaxBackoff:  250 * time.Millisecond,
+		}
+		res, err := lc.PostSchedule(crng, instance.NewUnit(works), "C1")
+		if err != nil {
+			return fmt.Errorf("cluster: selftest huge instance (m=%d): %w", opts.HugeM, err)
+		}
+		var resp serve.ScheduleResponse
+		if err := json.Unmarshal(res.Body, &resp); err != nil {
+			return fmt.Errorf("cluster: selftest huge instance: decode: %w", err)
+		}
+		if resp.Engine != "bigring" {
+			return fmt.Errorf("cluster: selftest huge instance (m=%d) ran engine=%q, want bigring", opts.HugeM, resp.Engine)
+		}
+		var big int64
+		for _, sn := range nodes {
+			big += sn.node.Server().Stats().ComputesBigring
+		}
+		if big < 1 {
+			return fmt.Errorf("cluster: selftest huge instance did not register a bigring compute")
+		}
+		fmt.Fprintf(out, "  bigring     m=%d engine=%s makespan=%d (cluster bigring computes %d)\n",
+			opts.HugeM, resp.Engine, resp.Makespan, big)
 	}
 	fmt.Fprintf(out, "  drain       clean\n")
 	return nil

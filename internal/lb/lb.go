@@ -74,6 +74,51 @@ func WindowBound(works []int64) int64 {
 	return best
 }
 
+// WindowBoundSparse maximizes the Lemma 1 bound over windows of the
+// geometric lengths 1, 2, 4, ..., m only (every start index, wrapping),
+// using rolling window sums: O(m log m) against WindowBound's O(m^2).
+// Every value it returns is still certified by an explicit window — it
+// is a true lower bound — it just may sit below WindowBound's maximum
+// when the best window length falls between two powers of two. Built
+// for the huge rings the big-ring engine serves, where the exact scan
+// is unaffordable.
+func WindowBoundSparse(works []int64) int64 {
+	m := len(works)
+	var ks []int
+	for k := 1; k < m; k *= 2 {
+		ks = append(ks, k)
+	}
+	ks = append(ks, m)
+	var best int64
+	for _, k := range ks {
+		var S int64
+		for h := 0; h < k; h++ {
+			S += works[h]
+		}
+		for i := 0; i < m; i++ {
+			if b := windowLB(k, S); b > best {
+				best = b
+			}
+			S += works[(i+k)%m] - works[i]
+		}
+	}
+	return best
+}
+
+// BestSparse is Best with WindowBoundSparse standing in for the exact
+// window scan: the strongest cheaply-certifiable lower bound for huge
+// rings.
+func BestSparse(in instance.Instance) int64 {
+	b := WindowBoundSparse(in.Works())
+	if a := AverageBound(in); a > b {
+		b = a
+	}
+	if p := PMaxBound(in); p > b {
+		b = p
+	}
+	return b
+}
+
 // AverageBound returns ceil(n/m): m processors can complete at most m units
 // of work per step.
 func AverageBound(in instance.Instance) int64 {

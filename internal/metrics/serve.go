@@ -20,6 +20,7 @@ type ServeStats struct {
 	panicked   atomic.Int64 // worker panics isolated to one request
 	badRequest atomic.Int64 // malformed requests refused with 4xx
 	computes   atomic.Int64 // engine/solver runs actually executed on the pool
+	bigring    atomic.Int64 // subset of computes that ran the big-ring engine
 	coalesced  atomic.Int64 // requests that shared another in-flight computation
 	peerServed atomic.Int64 // requests answered on behalf of a cluster peer
 }
@@ -56,6 +57,11 @@ func (s *ServeStats) BadRequest() { s.badRequest.Add(1) }
 // computations performed).
 func (s *ServeStats) Compute() { s.computes.Add(1) }
 
+// ComputeBigring records that a counted compute ran on the big-ring
+// engine rather than the pool engine (always paired with Compute; the
+// pool-engine count is Computes − ComputesBigring).
+func (s *ServeStats) ComputeBigring() { s.bigring.Add(1) }
+
 // Coalesced records a request that waited on another request's
 // in-flight computation instead of starting its own.
 func (s *ServeStats) Coalesced() { s.coalesced.Add(1) }
@@ -66,17 +72,18 @@ func (s *ServeStats) PeerServed() { s.peerServed.Add(1) }
 
 // ServeSnapshot is a point-in-time copy of the serving counters.
 type ServeSnapshot struct {
-	Requests    int64 `json:"requests"`
-	CacheHits   int64 `json:"cacheHits"`
-	CacheMisses int64 `json:"cacheMisses"`
-	Evictions   int64 `json:"evictions"`
-	Rejected    int64 `json:"rejected"`
-	Canceled    int64 `json:"canceled"`
-	Panics      int64 `json:"panics"`
-	BadRequests int64 `json:"badRequests"`
-	Computes    int64 `json:"computes"`
-	Coalesced   int64 `json:"coalesced"`
-	PeerServed  int64 `json:"peerServed"`
+	Requests        int64 `json:"requests"`
+	CacheHits       int64 `json:"cacheHits"`
+	CacheMisses     int64 `json:"cacheMisses"`
+	Evictions       int64 `json:"evictions"`
+	Rejected        int64 `json:"rejected"`
+	Canceled        int64 `json:"canceled"`
+	Panics          int64 `json:"panics"`
+	BadRequests     int64 `json:"badRequests"`
+	Computes        int64 `json:"computes"`
+	ComputesBigring int64 `json:"computesBigring"`
+	Coalesced       int64 `json:"coalesced"`
+	PeerServed      int64 `json:"peerServed"`
 }
 
 // HitRate returns the cache hit fraction (0 when nothing was looked up).
@@ -91,33 +98,35 @@ func (s ServeSnapshot) HitRate() float64 {
 // Snapshot returns the current counter values.
 func (s *ServeStats) Snapshot() ServeSnapshot {
 	return ServeSnapshot{
-		Requests:    s.requests.Load(),
-		CacheHits:   s.cacheHits.Load(),
-		CacheMisses: s.cacheMiss.Load(),
-		Evictions:   s.evictions.Load(),
-		Rejected:    s.rejected.Load(),
-		Canceled:    s.canceled.Load(),
-		Panics:      s.panicked.Load(),
-		BadRequests: s.badRequest.Load(),
-		Computes:    s.computes.Load(),
-		Coalesced:   s.coalesced.Load(),
-		PeerServed:  s.peerServed.Load(),
+		Requests:        s.requests.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		CacheMisses:     s.cacheMiss.Load(),
+		Evictions:       s.evictions.Load(),
+		Rejected:        s.rejected.Load(),
+		Canceled:        s.canceled.Load(),
+		Panics:          s.panicked.Load(),
+		BadRequests:     s.badRequest.Load(),
+		Computes:        s.computes.Load(),
+		ComputesBigring: s.bigring.Load(),
+		Coalesced:       s.coalesced.Load(),
+		PeerServed:      s.peerServed.Load(),
 	}
 }
 
 // Sub returns the counter deltas accumulated since an earlier snapshot.
 func (a ServeSnapshot) Sub(b ServeSnapshot) ServeSnapshot {
 	return ServeSnapshot{
-		Requests:    a.Requests - b.Requests,
-		CacheHits:   a.CacheHits - b.CacheHits,
-		CacheMisses: a.CacheMisses - b.CacheMisses,
-		Evictions:   a.Evictions - b.Evictions,
-		Rejected:    a.Rejected - b.Rejected,
-		Canceled:    a.Canceled - b.Canceled,
-		Panics:      a.Panics - b.Panics,
-		BadRequests: a.BadRequests - b.BadRequests,
-		Computes:    a.Computes - b.Computes,
-		Coalesced:   a.Coalesced - b.Coalesced,
-		PeerServed:  a.PeerServed - b.PeerServed,
+		Requests:        a.Requests - b.Requests,
+		CacheHits:       a.CacheHits - b.CacheHits,
+		CacheMisses:     a.CacheMisses - b.CacheMisses,
+		Evictions:       a.Evictions - b.Evictions,
+		Rejected:        a.Rejected - b.Rejected,
+		Canceled:        a.Canceled - b.Canceled,
+		Panics:          a.Panics - b.Panics,
+		BadRequests:     a.BadRequests - b.BadRequests,
+		Computes:        a.Computes - b.Computes,
+		ComputesBigring: a.ComputesBigring - b.ComputesBigring,
+		Coalesced:       a.Coalesced - b.Coalesced,
+		PeerServed:      a.PeerServed - b.PeerServed,
 	}
 }

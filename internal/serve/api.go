@@ -47,6 +47,14 @@ type ScheduleReqOptions struct {
 	TimeoutMs int64 `json:"timeoutMs,omitempty"`
 	// Bidirectional selects the online algorithm's two-direction rule.
 	Bidirectional bool `json:"bidirectional,omitempty"`
+	// Engine selects the compute engine for sequential A1..C2 runs on
+	// unit-job instances: "pool" (the general-purpose engine), "bigring"
+	// (the allocation-free span-parallel engine for huge rings — 400 on
+	// anything outside its domain), or ""/"auto" to let the server route
+	// by ring size (bigring at or above Config.BigRingThreshold).
+	// Results are bit-identical either way; the resolved engine is
+	// reported in the response and the request's span log.
+	Engine string `json:"engine,omitempty"`
 }
 
 // ArrivalBatch is one online release: count unit jobs appearing on
@@ -75,6 +83,10 @@ type ScheduleResponse struct {
 	Utilization float64 `json:"utilization,omitempty"`
 	// MaxFlowTime is set for algorithm "online" only.
 	MaxFlowTime int64 `json:"maxFlowTime,omitempty"`
+	// Engine is the engine that computed the run ("pool" or "bigring")
+	// for sequential A1..C2 requests; empty for cap, online and
+	// distributed runs, which have a single implementation.
+	Engine string `json:"engine,omitempty"`
 }
 
 // OptimalRequest is the body of POST /v1/optimal.

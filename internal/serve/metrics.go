@@ -35,7 +35,11 @@ func (s *Server) writeProm(p *metrics.PromWriter) {
 	p.Counter("ringserve_cache_hits_total", "Responses served from the canonical result cache.", one(snap.CacheHits)...)
 	p.Counter("ringserve_cache_misses_total", "Responses computed because the cache had no entry.", one(snap.CacheMisses)...)
 	p.Counter("ringserve_cache_evictions_total", "Cache entries displaced by LRU pressure.", one(snap.Evictions)...)
-	p.Counter("ringserve_computes_total", "Engine/solver runs actually executed on the worker pool.", one(snap.Computes)...)
+	// Computes carry an engine label so big-ring runs are visible apart
+	// from the pool path (the unlabeled total is the sum of the two).
+	p.Counter("ringserve_computes_total", "Engine/solver runs actually executed on the worker pool, by compute engine.",
+		metrics.PromSample{Labels: []metrics.PromLabel{{Name: "engine", Value: "bigring"}}, Value: float64(snap.ComputesBigring)},
+		metrics.PromSample{Labels: []metrics.PromLabel{{Name: "engine", Value: "pool"}}, Value: float64(snap.Computes - snap.ComputesBigring)})
 	p.Counter("ringserve_coalesced_total", "Requests that shared another request's in-flight computation.", one(snap.Coalesced)...)
 	p.Counter("ringserve_peer_served_total", "Requests answered on behalf of a cluster peer.", one(snap.PeerServed)...)
 
@@ -58,7 +62,22 @@ func (s *Server) writeProm(p *metrics.PromWriter) {
 	}
 	p.Histogram("ringserve_request_duration_seconds", "Total request latency per endpoint.", series(latTotal)...)
 	p.Histogram("ringserve_queue_wait_seconds", "Time requests spent queued before a worker started them.", series(latQueue)...)
-	p.Histogram("ringserve_engine_seconds", "Time requests spent executing on a worker (engine and solver).", series(latEngine)...)
+	// The engine phase is labeled by compute engine: "pool" covers the
+	// general-purpose engine plus solver work, "bigring" the span-
+	// parallel huge-instance engine.
+	engineSeries := make([]metrics.PromHistogram, 0, 2*len(latEndpoints))
+	for _, ep := range latEndpoints {
+		engineSeries = append(engineSeries,
+			metrics.PromHistogram{
+				Labels:   []metrics.PromLabel{{Name: "endpoint", Value: ep}, {Name: "engine", Value: "bigring"}},
+				Snapshot: s.lat[ep].engineBigring.Snapshot(),
+			},
+			metrics.PromHistogram{
+				Labels:   []metrics.PromLabel{{Name: "endpoint", Value: ep}, {Name: "engine", Value: "pool"}},
+				Snapshot: s.lat[ep].hist[latEngine].Snapshot(),
+			})
+	}
+	p.Histogram("ringserve_engine_seconds", "Time requests spent executing on a worker (engine and solver), by compute engine.", engineSeries...)
 
 	solver := metrics.Solver.Snapshot().Sub(s.solverBase)
 	p.Counter("ringsched_solver_probes_total", "Feasibility max-flow probes since this server started.", one(solver.Probes)...)

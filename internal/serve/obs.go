@@ -34,9 +34,13 @@ const (
 // latPhaseNames label the phases in /v1/statusz and /metrics.
 var latPhaseNames = [numLatPhases]string{"total", "queue", "engine"}
 
-// endpointLat is one endpoint's latency histograms.
+// endpointLat is one endpoint's latency histograms. The engine phase is
+// split by compute engine: hist[latEngine] is the pool path (engine and
+// solver runs), engineBigring the big-ring path — so huge-instance
+// latencies never fold into the pool's percentiles.
 type endpointLat struct {
-	hist [numLatPhases]metrics.Histogram
+	hist          [numLatPhases]metrics.Histogram
+	engineBigring metrics.Histogram
 }
 
 // latEndpoints lists the instrumented endpoints in exposition order.
@@ -109,13 +113,19 @@ func (ri *reqInfo) observeQueue(start time.Time, wait time.Duration) {
 }
 
 // observeEngine feeds the execution-time split (the task's time on a
-// worker, covering engine and solver work).
-func (ri *reqInfo) observeEngine(start time.Time, d time.Duration) {
+// worker, covering engine and solver work), attributed to the engine
+// that ran it ("bigring" gets its own histogram; anything else is the
+// pool path).
+func (ri *reqInfo) observeEngine(start time.Time, d time.Duration, engine string) {
 	if ri == nil {
 		return
 	}
 	if ri.lat != nil {
-		ri.lat.hist[latEngine].Observe(d)
+		if engine == "bigring" {
+			ri.lat.engineBigring.Observe(d)
+		} else {
+			ri.lat.hist[latEngine].Observe(d)
+		}
 	}
 	ri.tr.Add("compute", "", start, d)
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -23,6 +24,13 @@ type SelfTestOptions struct {
 	Clients int
 	// Seed seeds the zipf instance picker and the random rotations.
 	Seed int64
+	// HugeM, when positive, adds a huge-instance phase: a dense unit
+	// ring of HugeM processors is scheduled through /v1/schedule and the
+	// response must report the big-ring engine (the server's MaxM,
+	// MaxTotalWork and BigRingThreshold are widened to admit it when
+	// needed). This is the end-to-end proof that huge requests route to
+	// the span-parallel backend.
+	HugeM int
 }
 
 func (o SelfTestOptions) withDefaults() SelfTestOptions {
@@ -47,6 +55,21 @@ func (o SelfTestOptions) withDefaults() SelfTestOptions {
 //     hit-rate over the run is at least 50%.
 func SelfTest(cfg Config, opts SelfTestOptions, out io.Writer) error {
 	opts = opts.withDefaults()
+	if opts.HugeM > 0 {
+		// Widen the admission caps and the routing threshold so the huge
+		// phase is admissible and demonstrably bigring-routed. Defaults
+		// go on first — widening must never pull a cap below its default.
+		cfg = cfg.WithDefaults()
+		if cfg.MaxM < opts.HugeM {
+			cfg.MaxM = opts.HugeM
+		}
+		if cfg.MaxTotalWork < 2*int64(opts.HugeM) {
+			cfg.MaxTotalWork = 2 * int64(opts.HugeM)
+		}
+		if cfg.BigRingThreshold == 0 || cfg.BigRingThreshold > opts.HugeM {
+			cfg.BigRingThreshold = opts.HugeM
+		}
+	}
 	s := New(cfg)
 	ln, err := Listen("127.0.0.1:0")
 	if err != nil {
@@ -134,6 +157,37 @@ func SelfTest(cfg Config, opts SelfTestOptions, out io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	// Huge-instance phase: a dense ring of HugeM processors must route
+	// to the big-ring engine end-to-end — request in, engine stamp out.
+	var hugeLine string
+	if opts.HugeM > 0 {
+		rng := rand.New(rand.NewSource(opts.Seed + 104729))
+		works := make([]int64, opts.HugeM)
+		for i := range works {
+			works[i] = 2
+		}
+		hugeStart := time.Now()
+		res, err := lc.PostSchedule(rng, instance.NewUnit(works), "C1")
+		if err != nil {
+			cancel()
+			<-serveDone
+			return fmt.Errorf("serve: selftest huge instance (m=%d): %w", opts.HugeM, err)
+		}
+		var resp ScheduleResponse
+		if err := json.Unmarshal(res.Body, &resp); err != nil {
+			cancel()
+			<-serveDone
+			return fmt.Errorf("serve: selftest huge instance: decode: %w", err)
+		}
+		if resp.Engine != "bigring" {
+			cancel()
+			<-serveDone
+			return fmt.Errorf("serve: selftest huge instance (m=%d) ran engine=%q, want bigring", opts.HugeM, resp.Engine)
+		}
+		hugeLine = fmt.Sprintf("  bigring     m=%d engine=%s makespan=%d in %s\n",
+			opts.HugeM, resp.Engine, resp.Makespan, time.Since(hugeStart).Round(time.Millisecond))
+	}
+
 	// Drain: cancel the serve context mid-steady-state and require the
 	// graceful path to complete.
 	cancel()
@@ -168,6 +222,12 @@ func SelfTest(cfg Config, opts SelfTestOptions, out io.Writer) error {
 		100*hitRate, delta.CacheHits, delta.CacheMisses, delta.Evictions)
 	fmt.Fprintf(out, "  rejected    %d (client retried %d)  coalesced %d  canceled %d  panics %d\n",
 		delta.Rejected, retried, delta.Coalesced, delta.Canceled, delta.Panics)
+	if hugeLine != "" {
+		fmt.Fprint(out, hugeLine)
+		if delta.ComputesBigring < 1 {
+			return fmt.Errorf("serve: selftest huge instance did not register a bigring compute (computesBigring=%d)", delta.ComputesBigring)
+		}
+	}
 
 	if hitRate < 0.5 {
 		return fmt.Errorf("serve: selftest hit-rate %.1f%% below the 50%% bar", 100*hitRate)
@@ -185,4 +245,3 @@ func dihedralCopy(in instance.Instance, rng *rand.Rand) instance.Instance {
 	}
 	return out
 }
-

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ringsched/internal/bigring"
 	"ringsched/internal/bucket"
 	"ringsched/internal/capring"
 	"ringsched/internal/dist"
@@ -66,6 +67,16 @@ type Config struct {
 	MaxTotalWork int64
 	// MaxBody caps request body size; 0 means 8 MiB.
 	MaxBody int64
+	// BigRingThreshold routes sequential A1..C2 unit-job requests with
+	// m at or above it to the big-ring engine (internal/bigring) instead
+	// of the pool engine; 0 means 100 000, negative disables the
+	// auto-routing (an explicit engine:"bigring" request still works).
+	// Results are bit-identical on both engines.
+	BigRingThreshold int
+	// BigRingWorkers is the big-ring engine's span parallelism per
+	// request (bigring.Options.Workers): 0 lets the engine default to
+	// GOMAXPROCS on huge rings, 1 forces sequential stepping.
+	BigRingWorkers int
 	// AccessLog, when non-nil, receives one ringsched.span/v1 JSONL
 	// record per API request: the request ID, endpoint, status, cache
 	// verdict and the span tree (canonicalize, cache, queue, compute
@@ -101,7 +112,11 @@ type Remote interface {
 // answers from its own cache/pool and never re-forwards.
 const PeerForwardHeader = "X-Ringserve-Peer"
 
-func (c Config) withDefaults() Config {
+// WithDefaults returns c with every zero field replaced by its default.
+// New applies it automatically; callers that adjust caps relative to the
+// effective values (e.g. the selftests' huge-instance widening) apply it
+// first so they only ever raise limits, never clobber an unset default.
+func (c Config) WithDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -128,6 +143,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBody <= 0 {
 		c.MaxBody = 8 << 20
+	}
+	if c.BigRingThreshold == 0 {
+		c.BigRingThreshold = 100_000
 	}
 	return c
 }
@@ -174,7 +192,7 @@ var (
 // Serve/Close semantics — in tests, use httptest with s.Handler() and
 // call s.drainPool via Serve's path or simply leak the pool until exit.
 func New(cfg Config) *Server {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	stats := &metrics.ServeStats{}
 	s := &Server{
 		cfg:        cfg,
@@ -366,6 +384,10 @@ type computeSpec struct {
 	// key is the cache and coalescing identity.
 	key       string
 	timeoutMs int64
+	// engine names the compute engine for stats/histogram attribution
+	// ("bigring" splits off the big-ring families; anything else counts
+	// as the pool).
+	engine string
 	// peerReq is the canonical request body a peer can replay to
 	// produce byte-identical output; nil means "never forward".
 	peerReq []byte
@@ -482,8 +504,11 @@ func (s *Server) produce(ctx context.Context, ri *reqInfo, spec computeSpec, for
 		})
 		if o.err == nil {
 			s.stats.Compute()
+			if spec.engine == "bigring" {
+				s.stats.ComputeBigring()
+			}
 		}
-		ri.observeEngine(execStart, time.Since(execStart))
+		ri.observeEngine(execStart, time.Since(execStart), spec.engine)
 		ch <- o
 	})
 	if !ok {
@@ -549,6 +574,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, fmt.Errorf("%w: distributed runs support A1..C2 only", errBadRequest))
 		return
 	}
+	eng, err := s.resolveEngine(req)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
 
 	// The cache identity. Without arrivals the rotation/reflection
 	// symmetry holds, so the canonical fingerprint is the identity and
@@ -568,23 +598,59 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		sum := sha256.Sum256(append(raw, []byte(arrivalsKey(req.Arrivals))...))
 		ident = fmt.Sprintf("exact-%x", sum)
 	}
-	key := fmt.Sprintf("schedule|%s|%s|steps=%d|dist=%t|bidir=%t",
-		ident, req.Algorithm, req.Options.MaxSteps, req.Options.Distributed, req.Options.Bidirectional)
+	key := fmt.Sprintf("schedule|%s|%s|steps=%d|dist=%t|bidir=%t|engine=%s",
+		ident, req.Algorithm, req.Options.MaxSteps, req.Options.Distributed, req.Options.Bidirectional, eng)
+
+	// Peers replay the request with the engine pinned to our resolution,
+	// so nodes with different thresholds still produce byte-identical
+	// bodies for one key.
+	peerOpts := req.Options
+	peerOpts.Engine = eng
 
 	ri := info(r)
 	s.respond(w, r, computeSpec{
 		endpoint:  "schedule",
 		key:       key,
 		timeoutMs: req.Options.TimeoutMs,
-		peerReq:   peerForm(ScheduleRequest{Instance: runOn, Algorithm: req.Algorithm, Options: req.Options, Arrivals: req.Arrivals}),
+		engine:    eng,
+		peerReq:   peerForm(ScheduleRequest{Instance: runOn, Algorithm: req.Algorithm, Options: peerOpts, Arrivals: req.Arrivals}),
 		compute: func(ctx context.Context) (any, error) {
 			defer ri.span("engine", "compute")()
-			return s.computeSchedule(ctx, runOn, fp, req)
+			defer ri.span("engine="+eng, "engine")()
+			return s.computeSchedule(ctx, runOn, fp, req, eng)
 		},
 	})
 }
 
-func (s *Server) computeSchedule(ctx context.Context, in instance.Instance, fp instance.Fingerprint, req ScheduleRequest) (any, error) {
+// resolveEngine picks the compute engine for a schedule request. The
+// big-ring engine covers exactly the sequential bucket algorithms on
+// unit-job static instances; an explicit request outside that domain is
+// a 400, and ""/"auto" routes by ring size against BigRingThreshold.
+func (s *Server) resolveEngine(req ScheduleRequest) (string, error) {
+	bigOK := false
+	switch req.Algorithm {
+	case "A1", "B1", "C1", "A2", "B2", "C2":
+		bigOK = !req.Options.Distributed && len(req.Arrivals) == 0 && req.Instance.IsUnit()
+	}
+	switch req.Options.Engine {
+	case "", "auto":
+		if bigOK && s.cfg.BigRingThreshold > 0 && req.Instance.M >= s.cfg.BigRingThreshold {
+			return "bigring", nil
+		}
+		return "pool", nil
+	case "pool":
+		return "pool", nil
+	case "bigring":
+		if !bigOK {
+			return "", fmt.Errorf("%w: engine \"bigring\" supports only sequential A1..C2 runs on unit-job instances without arrivals", errBadRequest)
+		}
+		return "bigring", nil
+	default:
+		return "", fmt.Errorf("%w: unknown engine %q (want auto, pool or bigring)", errBadRequest, req.Options.Engine)
+	}
+}
+
+func (s *Server) computeSchedule(ctx context.Context, in instance.Instance, fp instance.Fingerprint, req ScheduleRequest, eng string) (any, error) {
 	resp := ScheduleResponse{
 		Schema:      Schema,
 		Fingerprint: fp.String(),
@@ -620,18 +686,43 @@ func (s *Server) computeSchedule(ctx context.Context, in instance.Instance, fp i
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
 		}
-		if req.Options.Distributed {
+		switch {
+		case req.Options.Distributed:
 			res, err := dist.RunContext(ctx, in, spec, dist.Options{MaxSteps: req.Options.MaxSteps})
 			if err != nil {
 				return nil, err
 			}
 			resp.Makespan, resp.Steps = res.Makespan, res.Steps
 			resp.JobHops, resp.Messages = res.JobHops, res.Messages
-		} else {
+		case eng == "bigring":
+			// The span-parallel flat-array engine: bit-identical to the
+			// pool engine on this domain, O(m/workers) per step per
+			// worker, zero steady-state allocation. It takes no ctx — a
+			// run is bounded by MaxSteps, and the request deadline still
+			// cuts off the response.
+			res, err := bigring.Run(in, spec, bigring.Options{MaxSteps: req.Options.MaxSteps, Workers: s.cfg.BigRingWorkers})
+			if err != nil {
+				if errors.Is(err, bigring.ErrUnsupported) {
+					return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+				}
+				return nil, err
+			}
+			resp.Engine = eng
+			resp.Makespan, resp.Steps = res.Makespan, res.Steps
+			resp.JobHops, resp.Messages = res.JobHops, res.Messages
+			resp.Utilization = res.Utilization()
+			// The exact Lemma 1 window scan is O(m^2) — unaffordable on
+			// the rings this engine exists for — so bigring responses
+			// carry the O(m log m) geometric-window bound (still a
+			// certified lower bound, possibly slightly weaker).
+			resp.LowerBound = lb.BestSparse(in)
+			return resp, nil
+		default:
 			res, err := sim.Run(in, spec, sim.Options{MaxSteps: req.Options.MaxSteps, Ctx: ctx})
 			if err != nil {
 				return nil, err
 			}
+			resp.Engine = eng
 			resp.Makespan, resp.Steps = res.Makespan, res.Steps
 			resp.JobHops, resp.Messages = res.JobHops, res.Messages
 			resp.Utilization = res.Utilization()
@@ -864,6 +955,10 @@ type endpointLatencyOut struct {
 	Total  metrics.QuantileSummary `json:"total"`
 	Queue  metrics.QuantileSummary `json:"queue"`
 	Engine metrics.QuantileSummary `json:"engine"`
+	// EngineBigring is the execution-time digest of computes that ran
+	// the big-ring engine (kept apart from Engine, the pool path, so
+	// huge-instance requests don't skew pool latencies).
+	EngineBigring metrics.QuantileSummary `json:"engineBigring"`
 }
 
 // latencyOut digests every instrumented endpoint's histograms.
@@ -872,9 +967,10 @@ func (s *Server) latencyOut() map[string]endpointLatencyOut {
 	for _, ep := range latEndpoints {
 		lat := s.lat[ep]
 		out[ep] = endpointLatencyOut{
-			Total:  lat.hist[latTotal].Snapshot().Summary(),
-			Queue:  lat.hist[latQueue].Snapshot().Summary(),
-			Engine: lat.hist[latEngine].Snapshot().Summary(),
+			Total:         lat.hist[latTotal].Snapshot().Summary(),
+			Queue:         lat.hist[latQueue].Snapshot().Summary(),
+			Engine:        lat.hist[latEngine].Snapshot().Summary(),
+			EngineBigring: lat.engineBigring.Snapshot().Summary(),
 		}
 	}
 	return out

@@ -177,8 +177,12 @@ func Schedule(in Instance, alg Algorithm, opts Options) (Result, error) {
 	return sim.Run(in, alg, opts)
 }
 
-// BigRingOptions configure ScheduleBigRing (a step limit and an
-// optional Collector; the big-ring engine supports nothing else).
+// BigRingOptions configure ScheduleBigRing: a step limit, an optional
+// Collector, and Workers — the number of contiguous ring spans stepped
+// in parallel (1 = sequential; 0 = GOMAXPROCS on rings of at least
+// bigring.ParallelMinM processors, sequential below; a non-nil
+// Collector always forces sequential). Results are bit-identical at
+// every worker count.
 type BigRingOptions = bigring.Options
 
 // ErrBigRingUnsupported: the instance or options are outside the
@@ -192,7 +196,11 @@ var ErrBigRingUnsupported = bigring.ErrUnsupported
 // the number of travelling buckets rather than to the ring size, with
 // zero steady-state allocation. Built for m = 10^6 and beyond; it
 // refuses (wrapping ErrBigRingUnsupported) anything it cannot
-// reproduce exactly.
+// reproduce exactly. With Workers > 1 (or 0 on a huge ring) the ring
+// is partitioned into contiguous spans stepped by persistent worker
+// goroutines — still bit-identical, still allocation-free per step,
+// with per-step cost O(m/Workers) per worker; ScheduleBigRing releases
+// the workers before returning.
 func ScheduleBigRing(in Instance, spec Spec, opts BigRingOptions) (Result, error) {
 	return bigring.Run(in, spec, opts)
 }
