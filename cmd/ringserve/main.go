@@ -8,10 +8,19 @@
 //	POST /v1/schedule  run A1..C2, cap, or online on an instance
 //	POST /v1/optimal   exact solver under limits (maxArcs, deadlineMs)
 //	POST /v1/compare   algorithms scored against the exact optimum
+//	POST   /v1/session                open a streaming scheduling session (resumable online engine)
+//	POST   /v1/session/{id}/arrivals  append release batches, step incrementally, get the extended schedule
+//	GET    /v1/session/{id}           session snapshot digest
+//	DELETE /v1/session/{id}           quiesce the engine and return the terminal snapshot
+//	GET  /v1/algorithms discovery: every algorithm and compute engine this server knows
 //	GET  /v1/healthz   liveness
 //	GET  /v1/readyz    readiness (503 while starting or draining)
 //	GET  /v1/statusz   counters, cache hit-rate, queue depth, p50/p90/p99 latency
 //	GET  /metrics      Prometheus text exposition (counters, gauges, histograms)
+//
+// Sessions are bounded (-max-sessions, 429 session_limit past the cap)
+// and evicted after -session-ttl idle; graceful drain steps every
+// surviving session to quiescence before exit.
 //
 // Every request carries an X-Request-Id (inbound IDs are honored) and,
 // with -access-log, emits one ringsched.span/v1 JSONL record tracing
@@ -69,6 +78,8 @@ func run(args []string, out, errw io.Writer) error {
 	maxM := fs.Int("max-m", 0, "admission cap on ring size (0 = 100000)")
 	bigringThreshold := fs.Int("bigring-threshold", 0, "route sequential A1..C2 unit-job requests with m at or above this to the big-ring engine (0 = 100000, negative = never auto-route)")
 	bigringWorkers := fs.Int("bigring-workers", 0, "big-ring engine span parallelism per request (0 = engine default, 1 = sequential)")
+	maxSessions := fs.Int("max-sessions", 0, "cap on live streaming sessions (0 = 1024)")
+	sessionTTL := fs.Duration("session-ttl", 0, "idle eviction deadline for streaming sessions (0 = 10m)")
 	accessLog := fs.String("access-log", "", "write one ringsched.span/v1 JSONL record per request to this file (\"-\" = stdout)")
 	selftest := fs.Bool("selftest", false, "run the built-in zipf load generator against a loopback daemon and exit")
 	requests := fs.Int("requests", 0, "selftest: total requests (0 = 400)")
@@ -99,6 +110,8 @@ func run(args []string, out, errw io.Writer) error {
 		MaxM:             *maxM,
 		BigRingThreshold: *bigringThreshold,
 		BigRingWorkers:   *bigringWorkers,
+		MaxSessions:      *maxSessions,
+		SessionTTL:       *sessionTTL,
 	}
 	if *accessLog != "" {
 		if *accessLog == "-" {

@@ -27,7 +27,7 @@ func TestRendezvousOwnership(t *testing.T) {
 	keys := make([]string, 500)
 	for i := range keys {
 		sum := sha256.Sum256([]byte{byte(i), byte(i >> 8)})
-		keys[i] = fmt.Sprintf("schedule|%x|C1|steps=0|dist=false|bidir=false", sum)
+		keys[i] = fmt.Sprintf("schedule|%x|C1|steps=0|dist=false|bidir=false|mig=0|engine=pool", sum)
 	}
 
 	counts := map[string]int{}
@@ -172,9 +172,12 @@ func liveNodes(t *testing.T, count int, scfg serve.Config) []*testNode {
 }
 
 // scheduleKey mirrors the serve layer's cache identity for a plain
-// /v1/schedule request (no options, no arrivals).
+// /v1/schedule request (no options, no arrivals, pool engine). It must
+// stay byte-identical to the key handleSchedule builds: a drifted
+// mirror makes peerOwnedInstance pick instances whose real owner is a
+// coin flip, and the forwarding assertions below turn flaky.
 func scheduleKey(in instance.Instance, alg string) string {
-	return fmt.Sprintf("schedule|%s|%s|steps=0|dist=false|bidir=false",
+	return fmt.Sprintf("schedule|%s|%s|steps=0|dist=false|bidir=false|mig=0|engine=pool",
 		in.Canonical().Fingerprint().String(), alg)
 }
 

@@ -21,8 +21,13 @@ type ServeStats struct {
 	badRequest atomic.Int64 // malformed requests refused with 4xx
 	computes   atomic.Int64 // engine/solver runs actually executed on the pool
 	bigring    atomic.Int64 // subset of computes that ran the big-ring engine
+	onlineEng  atomic.Int64 // subset of computes that stepped a session's online engine
 	coalesced  atomic.Int64 // requests that shared another in-flight computation
 	peerServed atomic.Int64 // requests answered on behalf of a cluster peer
+
+	sessions        atomic.Int64 // scheduling sessions created
+	sessionsEvicted atomic.Int64 // sessions evicted by idle TTL
+	sessionAppends  atomic.Int64 // arrival-append calls accepted into a session
 }
 
 // Request records one accepted API request.
@@ -62,6 +67,20 @@ func (s *ServeStats) Compute() { s.computes.Add(1) }
 // pool-engine count is Computes − ComputesBigring).
 func (s *ServeStats) ComputeBigring() { s.bigring.Add(1) }
 
+// ComputeOnline records that a counted compute stepped a streaming
+// session's resumable online engine (always paired with Compute; the
+// pool-engine count is Computes − ComputesBigring − ComputesOnline).
+func (s *ServeStats) ComputeOnline() { s.onlineEng.Add(1) }
+
+// SessionCreated records one streaming scheduling session created.
+func (s *ServeStats) SessionCreated() { s.sessions.Add(1) }
+
+// SessionEvicted records one session evicted by its idle TTL.
+func (s *ServeStats) SessionEvicted() { s.sessionsEvicted.Add(1) }
+
+// SessionAppend records one accepted arrival-append call on a session.
+func (s *ServeStats) SessionAppend() { s.sessionAppends.Add(1) }
+
 // Coalesced records a request that waited on another request's
 // in-flight computation instead of starting its own.
 func (s *ServeStats) Coalesced() { s.coalesced.Add(1) }
@@ -82,8 +101,12 @@ type ServeSnapshot struct {
 	BadRequests     int64 `json:"badRequests"`
 	Computes        int64 `json:"computes"`
 	ComputesBigring int64 `json:"computesBigring"`
+	ComputesOnline  int64 `json:"computesOnline"`
 	Coalesced       int64 `json:"coalesced"`
 	PeerServed      int64 `json:"peerServed"`
+	SessionsCreated int64 `json:"sessionsCreated"`
+	SessionsEvicted int64 `json:"sessionsEvicted"`
+	SessionAppends  int64 `json:"sessionAppends"`
 }
 
 // HitRate returns the cache hit fraction (0 when nothing was looked up).
@@ -108,8 +131,12 @@ func (s *ServeStats) Snapshot() ServeSnapshot {
 		BadRequests:     s.badRequest.Load(),
 		Computes:        s.computes.Load(),
 		ComputesBigring: s.bigring.Load(),
+		ComputesOnline:  s.onlineEng.Load(),
 		Coalesced:       s.coalesced.Load(),
 		PeerServed:      s.peerServed.Load(),
+		SessionsCreated: s.sessions.Load(),
+		SessionsEvicted: s.sessionsEvicted.Load(),
+		SessionAppends:  s.sessionAppends.Load(),
 	}
 }
 
@@ -126,7 +153,11 @@ func (a ServeSnapshot) Sub(b ServeSnapshot) ServeSnapshot {
 		BadRequests:     a.BadRequests - b.BadRequests,
 		Computes:        a.Computes - b.Computes,
 		ComputesBigring: a.ComputesBigring - b.ComputesBigring,
+		ComputesOnline:  a.ComputesOnline - b.ComputesOnline,
 		Coalesced:       a.Coalesced - b.Coalesced,
 		PeerServed:      a.PeerServed - b.PeerServed,
+		SessionsCreated: a.SessionsCreated - b.SessionsCreated,
+		SessionsEvicted: a.SessionsEvicted - b.SessionsEvicted,
+		SessionAppends:  a.SessionAppends - b.SessionAppends,
 	}
 }

@@ -1,10 +1,6 @@
 package online
 
-import (
-	"errors"
-	"fmt"
-	"math"
-)
+import "errors"
 
 // Params tune the online diffusion algorithm.
 type Params struct {
@@ -14,6 +10,14 @@ type Params struct {
 	// Bidirectional splits fresh arrivals into buckets travelling both
 	// ways (the A2 configuration). Default off = A1.
 	Bidirectional bool
+	// MigrationBudget caps how many jobs of each released batch may
+	// leave their home processor (the bounded-migration trade-off of
+	// Albers–Hellwig's online makespan study): the excess over the
+	// A-rule keep target normally ships in buckets; with a budget set,
+	// at most MigrationBudget jobs per batch ship and the rest stays
+	// queued locally. 0 (or negative) means unlimited — the classic
+	// algorithm, bit-identical to the pre-budget behavior.
+	MigrationBudget int64
 }
 
 func (p Params) c() float64 {
@@ -34,6 +38,9 @@ type Result struct {
 	Steps       int64
 	JobHops     int64
 	Processed   []int64
+	// Migrated counts jobs that left their home processor at release
+	// time (shipped in a bucket instead of joining the local queue).
+	Migrated int64
 }
 
 // ErrNotQuiescent mirrors sim.ErrNotQuiescent.
@@ -57,157 +64,21 @@ type bucket struct {
 // target (algorithm A's rule). Buckets that lap the ring switch to
 // Lemma 5 balancing. Everything is local and requires no global clock
 // agreement beyond the synchronous steps of the base model.
+//
+// Run is a thin wrapper over the resumable Engine: it appends the whole
+// arrival sequence up front and steps to quiescence. Incremental
+// callers use NewEngine/Append/StepUntil directly and get bit-identical
+// results at every pause point.
 func Run(in Instance, p Params) (Result, error) {
-	m := in.M
-	top := in.topology()
-	res := Result{Processed: make([]int64, m)}
-	total := in.TotalWork()
-	if total == 0 {
-		return res, nil
+	e, err := NewEngine(in.M, p)
+	if err != nil {
+		return Result{}, err
 	}
-	maxSteps := 8*(total+int64(m)) + 4*in.MaxRelease() + 64
-
-	pool := make([]int64, m)
-	passed := make([]int64, m)
-	// completionNeeded[r] counts unfinished jobs with release time r.
-	remainingByRelease := map[int64]int64{}
-	for _, b := range in.Batches {
-		remainingByRelease[b.Time] += b.Count
+	if err := e.Append(in.Batches...); err != nil {
+		return Result{}, err
 	}
-	// FIFO per pool by release time: approximate flow time by assuming
-	// each processor works oldest-release-first. We track per-pool counts
-	// by release time.
-	poolByRelease := make([]map[int64]int64, m)
-	for i := range poolByRelease {
-		poolByRelease[i] = map[int64]int64{}
-	}
-
-	var buckets []bucket
-	next := 0 // next batch to release
-
-	target := func(v int) int64 {
-		return int64(p.c() * math.Sqrt(float64(passed[v])))
-	}
-
-	deposit := func(v int, w, released int64) {
-		pool[v] += w
-		poolByRelease[v][released] += w
-	}
-
-	// processOne removes the oldest-release unit from v's pool and
-	// returns its release time.
-	processOne := func(v int) int64 {
-		var oldest int64 = math.MaxInt64
-		for r, c := range poolByRelease[v] {
-			if c > 0 && r < oldest {
-				oldest = r
-			}
-		}
-		poolByRelease[v][oldest]--
-		if poolByRelease[v][oldest] == 0 {
-			delete(poolByRelease[v], oldest)
-		}
-		pool[v]--
-		return oldest
-	}
-
-	for step := int64(0); ; step++ {
-		if step > maxSteps {
-			return res, fmt.Errorf("%w within %d steps", ErrNotQuiescent, maxSteps)
-		}
-
-		// 1. Releases at the start of the step: arrivals raise the local
-		// passed count; the queue keeps up to target, the excess ships.
-		for next < len(in.Batches) && in.Batches[next].Time == step {
-			b := in.Batches[next]
-			next++
-			if b.Count == 0 {
-				continue
-			}
-			v := b.Proc
-			passed[v] += b.Count
-			keep := min64(b.Count, max64(0, target(v)-pool[v]))
-			deposit(v, keep, b.Time)
-			rest := b.Count - keep
-			if rest == 0 {
-				continue
-			}
-			if m == 1 {
-				deposit(v, rest, b.Time)
-				continue
-			}
-			if p.Bidirectional {
-				cw := (rest + 1) / 2
-				if cw > 0 {
-					buckets = append(buckets, bucket{pos: v, dir: +1, content: cw, released: b.Time})
-				}
-				if ccw := rest - cw; ccw > 0 {
-					buckets = append(buckets, bucket{pos: v, dir: -1, content: ccw, released: b.Time})
-				}
-			} else {
-				buckets = append(buckets, bucket{pos: v, dir: +1, content: rest, released: b.Time})
-			}
-		}
-
-		// 2. Buckets advance one hop and drop by the A rule.
-		for i := range buckets {
-			b := &buckets[i]
-			if b.content == 0 {
-				continue
-			}
-			b.pos = top.Wrap(b.pos + b.dir)
-			b.hops++
-			res.JobHops += b.content
-			if !b.balance && b.hops >= m {
-				b.balance = true
-				b.per = (b.content + int64(m) - 1) / int64(m)
-			}
-			v := b.pos
-			passed[v] += b.content
-			var d int64
-			if b.balance {
-				d = min64(b.content, b.per)
-			} else {
-				d = min64(b.content, max64(0, target(v)-pool[v]))
-			}
-			if d > 0 {
-				deposit(v, d, b.released)
-				b.content -= d
-			}
-		}
-
-		// 3. Processing (oldest release first per processor).
-		busy := false
-		for v := 0; v < m; v++ {
-			if pool[v] > 0 {
-				r := processOne(v)
-				res.Processed[v]++
-				res.Makespan = step + 1
-				busy = true
-				remainingByRelease[r]--
-				if remainingByRelease[r] == 0 {
-					if ft := step + 1 - r; ft > res.MaxFlowTime {
-						res.MaxFlowTime = ft
-					}
-				}
-			}
-		}
-		res.Steps = step + 1
-
-		// 4. Compact and test quiescence (all released, nothing moving,
-		// nothing queued).
-		alive := buckets[:0]
-		for _, b := range buckets {
-			if b.content > 0 {
-				alive = append(alive, b)
-			}
-		}
-		buckets = alive
-		if next == len(in.Batches) && len(buckets) == 0 && !busy {
-			break
-		}
-	}
-	return res, nil
+	err = e.StepQuiescent(nil)
+	return e.Snapshot().Result, err
 }
 
 func min64(a, b int64) int64 {

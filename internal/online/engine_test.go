@@ -1,0 +1,373 @@
+package online
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// seededGrid generates a deterministic grid of arrival sequences across
+// ring sizes, batch counts and release spreads — the instance pool every
+// differential test in this file runs over.
+func seededGrid(seed int64) []Instance {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Instance
+	for _, m := range []int{1, 2, 3, 5, 8, 16, 40} {
+		for _, nb := range []int{0, 1, 4, 12, 30} {
+			for _, spread := range []int64{0, 3, 25, 200} {
+				batches := make([]Batch, nb)
+				for i := range batches {
+					var t int64
+					if spread > 0 {
+						t = rng.Int63n(spread)
+					}
+					batches[i] = Batch{
+						Time:  t,
+						Proc:  rng.Intn(m),
+						Count: rng.Int63n(40),
+					}
+				}
+				in, err := NewInstance(m, batches)
+				if err != nil {
+					panic(err)
+				}
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+// grids split an instance's batch list into waves that respect release
+// order (each wave's earliest release is at or after every earlier
+// wave's releases would allow appending, because waves are appended
+// before stepping past their first release).
+func waves(in Instance, k int) [][]Batch {
+	if k <= 1 || len(in.Batches) == 0 {
+		return [][]Batch{in.Batches}
+	}
+	per := (len(in.Batches) + k - 1) / k
+	var out [][]Batch
+	for i := 0; i < len(in.Batches); i += per {
+		j := i + per
+		if j > len(in.Batches) {
+			j = len(in.Batches)
+		}
+		out = append(out, in.Batches[i:j])
+	}
+	return out
+}
+
+func resultsEqual(a, b Result) bool {
+	return a.Makespan == b.Makespan &&
+		a.MaxFlowTime == b.MaxFlowTime &&
+		a.Steps == b.Steps &&
+		a.JobHops == b.JobHops &&
+		a.Migrated == b.Migrated &&
+		reflect.DeepEqual(a.Processed, b.Processed)
+}
+
+// TestEngineWaveDifferential is the tentpole's acceptance test: for
+// every seeded instance and every wave split, appending the arrival
+// sequence wave by wave — stepping to quiescence between waves — yields
+// the exact Result of a one-shot Run on the full instance.
+func TestEngineWaveDifferential(t *testing.T) {
+	for _, p := range []Params{{}, {Bidirectional: true}, {C: 2.5}, {MigrationBudget: 3}} {
+		for gi, in := range seededGrid(42) {
+			want, err := Run(in, p)
+			if err != nil {
+				t.Fatalf("grid[%d]: one-shot: %v", gi, err)
+			}
+			for _, k := range []int{1, 2, 3, 5} {
+				e, err := NewEngine(in.M, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ws := waves(in, k)
+				for wi, w := range ws {
+					if err := e.Append(w...); err != nil {
+						t.Fatalf("grid[%d] k=%d wave %d: append: %v", gi, k, wi, err)
+					}
+					// Between waves, stepping may not pass the next
+					// wave's first release (it would make its batches
+					// stale); the last wave steps to quiescence.
+					if wi+1 < len(ws) {
+						if err := e.StepUntil(nil, ws[wi+1][0].Time); err != nil {
+							t.Fatalf("grid[%d] k=%d wave %d: step: %v", gi, k, wi, err)
+						}
+					} else if err := e.StepQuiescent(nil); err != nil {
+						t.Fatalf("grid[%d] k=%d wave %d: step: %v", gi, k, wi, err)
+					}
+				}
+				got := e.Snapshot()
+				if !got.Quiescent {
+					t.Fatalf("grid[%d] k=%d: engine not quiescent after all waves", gi, k)
+				}
+				if !resultsEqual(got.Result, want) {
+					t.Fatalf("grid[%d] k=%d (p=%+v): incremental %+v != one-shot %+v", gi, k, p, got.Result, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineStepUntilDifferential interleaves Append with partial
+// StepUntil advances at random pause points — never stepping past the
+// next wave's earliest release before appending it — and checks the
+// final state is still bit-identical to the one-shot run.
+func TestEngineStepUntilDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for gi, in := range seededGrid(23) {
+		if len(in.Batches) == 0 {
+			continue
+		}
+		want, err := Run(in, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(in.M, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := waves(in, 3)
+		for wi, w := range ws {
+			if err := e.Append(w...); err != nil {
+				t.Fatalf("grid[%d] wave %d: append at now=%d: %v", gi, wi, e.Now(), err)
+			}
+			// Random partial advances, capped so the next wave's first
+			// release stays appendable (engine time may not pass it).
+			cap := int64(1 << 62)
+			if wi+1 < len(ws) {
+				cap = ws[wi+1][0].Time
+			}
+			for hops := 0; hops < 3; hops++ {
+				tgt := e.Now() + rng.Int63n(20)
+				if tgt > cap {
+					tgt = cap
+				}
+				if err := e.StepUntil(nil, tgt); err != nil {
+					t.Fatalf("grid[%d]: StepUntil(%d): %v", gi, tgt, err)
+				}
+			}
+			if wi+1 == len(ws) {
+				if err := e.StepQuiescent(nil); err != nil {
+					t.Fatalf("grid[%d]: final StepQuiescent: %v", gi, err)
+				}
+			} else if err := e.StepUntil(nil, cap); err != nil {
+				t.Fatalf("grid[%d]: StepUntil(cap=%d): %v", gi, cap, err)
+			}
+		}
+		if got := e.Snapshot(); !resultsEqual(got.Result, want) {
+			t.Fatalf("grid[%d]: interleaved %+v != one-shot %+v", gi, got.Result, want)
+		}
+	}
+}
+
+// TestEngineMonotoneSnapshots checks the session layer's monotonicity
+// contract: under appends and stepping, makespan, flow time, hops,
+// steps and every per-processor Processed entry never decrease.
+func TestEngineMonotoneSnapshots(t *testing.T) {
+	for gi, in := range seededGrid(99) {
+		e, err := NewEngine(in.M, Params{Bidirectional: gi%2 == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := e.Snapshot()
+		ws := waves(in, 4)
+		for wi, w := range ws {
+			if err := e.Append(w...); err != nil {
+				t.Fatal(err)
+			}
+			// Stepping between waves may not pass the next wave's first
+			// release; the last wave advances to quiescence.
+			cap := int64(1 << 62)
+			if wi+1 < len(ws) {
+				cap = ws[wi+1][0].Time
+			}
+			for {
+				tgt := e.Now() + 7
+				if tgt > cap {
+					tgt = cap
+				}
+				if err := e.StepUntil(nil, tgt); err != nil {
+					t.Fatal(err)
+				}
+				cur := e.Snapshot()
+				if cur.Makespan < prev.Makespan || cur.MaxFlowTime < prev.MaxFlowTime ||
+					cur.Steps < prev.Steps || cur.JobHops < prev.JobHops || cur.Migrated < prev.Migrated {
+					t.Fatalf("grid[%d]: snapshot went backwards: %+v then %+v", gi, prev.Result, cur.Result)
+				}
+				for v := range cur.Processed {
+					if cur.Processed[v] < prev.Processed[v] {
+						t.Fatalf("grid[%d]: processed[%d] decreased", gi, v)
+					}
+				}
+				prev = cur
+				if cur.Quiescent || e.Now() >= cap {
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestEngineRejectsStaleRelease(t *testing.T) {
+	e, err := NewEngine(4, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Append(Batch{Time: 0, Proc: 0, Count: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StepQuiescent(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() == 0 {
+		t.Fatal("engine time did not advance")
+	}
+	err = e.Append(Batch{Time: e.Now() - 1, Proc: 1, Count: 2})
+	if !errors.Is(err, ErrStaleRelease) {
+		t.Fatalf("stale append error = %v, want ErrStaleRelease", err)
+	}
+	// The failed append must leave the engine usable.
+	if err := e.Append(Batch{Time: e.Now(), Proc: 1, Count: 2}); err != nil {
+		t.Fatalf("append at Now(): %v", err)
+	}
+	if err := e.StepQuiescent(nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	if got := snap.Processed[0] + snap.Processed[1] + snap.Processed[2] + snap.Processed[3]; got != 7 {
+		t.Fatalf("processed %d jobs, want 7", got)
+	}
+}
+
+func TestEngineAppendValidation(t *testing.T) {
+	e, _ := NewEngine(3, Params{})
+	for _, b := range []Batch{
+		{Time: -1, Proc: 0, Count: 1},
+		{Time: 0, Proc: -1, Count: 1},
+		{Time: 0, Proc: 3, Count: 1},
+		{Time: 0, Proc: 0, Count: -1},
+	} {
+		if err := e.Append(b); err == nil {
+			t.Fatalf("Append(%+v) accepted", b)
+		}
+	}
+	if _, err := NewEngine(0, Params{}); err == nil {
+		t.Fatal("NewEngine(0) accepted")
+	}
+}
+
+// TestEngineContextCancel checks a canceled context pauses the engine
+// resumably instead of poisoning it.
+func TestEngineContextCancel(t *testing.T) {
+	e, _ := NewEngine(8, Params{})
+	if err := e.Append(Batch{Time: 0, Proc: 0, Count: 500}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.StepQuiescent(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("StepQuiescent(canceled) = %v, want context.Canceled", err)
+	}
+	if err := e.StepQuiescent(nil); err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	if !e.Quiescent() {
+		t.Fatal("engine did not quiesce after resume")
+	}
+}
+
+// TestMigrationBudget checks the knob's semantics: zero is bit-identical
+// to the historical algorithm, a huge budget changes nothing, and a
+// small budget caps migrated jobs per batch while conserving work.
+func TestMigrationBudget(t *testing.T) {
+	in := mustInstance(t, 6, []Batch{
+		{Time: 0, Proc: 0, Count: 30},
+		{Time: 4, Proc: 2, Count: 25},
+		{Time: 9, Proc: 2, Count: 17},
+	})
+	base, err := Run(in, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge, err := Run(in, Params{MigrationBudget: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(base, huge) {
+		t.Fatalf("huge budget diverged: %+v != %+v", huge, base)
+	}
+	if base.Migrated == 0 {
+		t.Fatal("expected the unbounded run to migrate jobs")
+	}
+	capped, err := Run(in, Params{MigrationBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Migrated > 2*int64(len(in.Batches)) {
+		t.Fatalf("migrated %d jobs with budget 2 over %d batches", capped.Migrated, len(in.Batches))
+	}
+	if capped.Migrated >= base.Migrated {
+		t.Fatalf("budget 2 migrated %d, unbounded %d — cap had no effect", capped.Migrated, base.Migrated)
+	}
+	var total int64
+	for _, p := range capped.Processed {
+		total += p
+	}
+	if total != in.TotalWork() {
+		t.Fatalf("budgeted run processed %d of %d jobs", total, in.TotalWork())
+	}
+}
+
+// TestEngineZeroCountTrailingBatch pins the subtle Steps semantics: a
+// trailing zero-count batch holds the one-shot loop open until its
+// release, so the incremental engine must burn the same idle time.
+func TestEngineZeroCountTrailingBatch(t *testing.T) {
+	in := mustInstance(t, 3, []Batch{
+		{Time: 0, Proc: 0, Count: 2},
+		{Time: 50, Proc: 1, Count: 0},
+	})
+	want, err := Run(in, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEngine(3, Params{})
+	if err := e.Append(in.Batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StepQuiescent(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Append(in.Batches[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StepQuiescent(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Snapshot(); !resultsEqual(got.Result, want) {
+		t.Fatalf("zero-count trailing batch: %+v != %+v", got.Result, want)
+	}
+}
+
+// TestEngineEmpty pins the no-work shortcut: stepping an empty engine
+// does not advance time, matching Run's immediate return.
+func TestEngineEmpty(t *testing.T) {
+	e, _ := NewEngine(5, Params{})
+	if err := e.StepQuiescent(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StepUntil(nil, 100); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	if snap.Now != 0 || snap.Steps != 0 || !snap.Quiescent {
+		t.Fatalf("empty engine advanced: %+v", snap)
+	}
+	if len(snap.Processed) != 5 {
+		t.Fatalf("Processed len = %d", len(snap.Processed))
+	}
+}

@@ -35,13 +35,18 @@ func (s *Server) writeProm(p *metrics.PromWriter) {
 	p.Counter("ringserve_cache_hits_total", "Responses served from the canonical result cache.", one(snap.CacheHits)...)
 	p.Counter("ringserve_cache_misses_total", "Responses computed because the cache had no entry.", one(snap.CacheMisses)...)
 	p.Counter("ringserve_cache_evictions_total", "Cache entries displaced by LRU pressure.", one(snap.Evictions)...)
-	// Computes carry an engine label so big-ring runs are visible apart
-	// from the pool path (the unlabeled total is the sum of the two).
+	// Computes carry an engine label so big-ring and streaming-session
+	// runs are visible apart from the pool path (the unlabeled total is
+	// the sum of the three).
 	p.Counter("ringserve_computes_total", "Engine/solver runs actually executed on the worker pool, by compute engine.",
 		metrics.PromSample{Labels: []metrics.PromLabel{{Name: "engine", Value: "bigring"}}, Value: float64(snap.ComputesBigring)},
-		metrics.PromSample{Labels: []metrics.PromLabel{{Name: "engine", Value: "pool"}}, Value: float64(snap.Computes - snap.ComputesBigring)})
+		metrics.PromSample{Labels: []metrics.PromLabel{{Name: "engine", Value: "online"}}, Value: float64(snap.ComputesOnline)},
+		metrics.PromSample{Labels: []metrics.PromLabel{{Name: "engine", Value: "pool"}}, Value: float64(snap.Computes - snap.ComputesBigring - snap.ComputesOnline)})
 	p.Counter("ringserve_coalesced_total", "Requests that shared another request's in-flight computation.", one(snap.Coalesced)...)
 	p.Counter("ringserve_peer_served_total", "Requests answered on behalf of a cluster peer.", one(snap.PeerServed)...)
+	p.Counter("ringserve_sessions_created_total", "Streaming scheduling sessions created.", one(snap.SessionsCreated)...)
+	p.Counter("ringserve_sessions_evicted_total", "Streaming sessions evicted by idle TTL.", one(snap.SessionsEvicted)...)
+	p.Counter("ringserve_session_appends_total", "Arrival-append calls accepted into a streaming session.", one(snap.SessionAppends)...)
 
 	p.Gauge("ringserve_workers", "Compute pool size.", one(int64(s.cfg.Workers))...)
 	p.Gauge("ringserve_workers_busy", "Workers currently executing a task.", one(s.pool.busyWorkers())...)
@@ -49,6 +54,8 @@ func (s *Server) writeProm(p *metrics.PromWriter) {
 	p.Gauge("ringserve_queue_capacity", "Queue depth before 429 backpressure.", one(int64(s.cfg.QueueDepth))...)
 	p.Gauge("ringserve_cache_entries", "Entries in the result cache.", one(int64(s.cache.len()))...)
 	p.Gauge("ringserve_cache_capacity", "Result cache capacity.", one(int64(s.cfg.CacheEntries))...)
+	p.Gauge("ringserve_sessions_active", "Live streaming sessions.", one(int64(s.sessions.len()))...)
+	p.Gauge("ringserve_sessions_capacity", "Live-session cap before 429 backpressure.", one(int64(s.cfg.MaxSessions))...)
 
 	series := func(phase int) []metrics.PromHistogram {
 		out := make([]metrics.PromHistogram, 0, len(latEndpoints))
@@ -64,13 +71,18 @@ func (s *Server) writeProm(p *metrics.PromWriter) {
 	p.Histogram("ringserve_queue_wait_seconds", "Time requests spent queued before a worker started them.", series(latQueue)...)
 	// The engine phase is labeled by compute engine: "pool" covers the
 	// general-purpose engine plus solver work, "bigring" the span-
-	// parallel huge-instance engine.
-	engineSeries := make([]metrics.PromHistogram, 0, 2*len(latEndpoints))
+	// parallel huge-instance engine, "online" the streaming sessions'
+	// resumable engine.
+	engineSeries := make([]metrics.PromHistogram, 0, 3*len(latEndpoints))
 	for _, ep := range latEndpoints {
 		engineSeries = append(engineSeries,
 			metrics.PromHistogram{
 				Labels:   []metrics.PromLabel{{Name: "endpoint", Value: ep}, {Name: "engine", Value: "bigring"}},
 				Snapshot: s.lat[ep].engineBigring.Snapshot(),
+			},
+			metrics.PromHistogram{
+				Labels:   []metrics.PromLabel{{Name: "endpoint", Value: ep}, {Name: "engine", Value: "online"}},
+				Snapshot: s.lat[ep].engineOnline.Snapshot(),
 			},
 			metrics.PromHistogram{
 				Labels:   []metrics.PromLabel{{Name: "endpoint", Value: ep}, {Name: "engine", Value: "pool"}},

@@ -36,15 +36,17 @@ var latPhaseNames = [numLatPhases]string{"total", "queue", "engine"}
 
 // endpointLat is one endpoint's latency histograms. The engine phase is
 // split by compute engine: hist[latEngine] is the pool path (engine and
-// solver runs), engineBigring the big-ring path — so huge-instance
-// latencies never fold into the pool's percentiles.
+// solver runs), engineBigring the big-ring path and engineOnline the
+// streaming sessions' resumable engine — so huge-instance and
+// long-session latencies never fold into the pool's percentiles.
 type endpointLat struct {
 	hist          [numLatPhases]metrics.Histogram
 	engineBigring metrics.Histogram
+	engineOnline  metrics.Histogram
 }
 
 // latEndpoints lists the instrumented endpoints in exposition order.
-var latEndpoints = []string{"schedule", "optimal", "compare"}
+var latEndpoints = []string{"schedule", "optimal", "compare", "session"}
 
 // reqInfo is the per-request observability record, carried in the
 // request context from the wrap middleware down into the compute
@@ -121,9 +123,12 @@ func (ri *reqInfo) observeEngine(start time.Time, d time.Duration, engine string
 		return
 	}
 	if ri.lat != nil {
-		if engine == "bigring" {
+		switch engine {
+		case "bigring":
 			ri.lat.engineBigring.Observe(d)
-		} else {
+		case "online":
+			ri.lat.engineOnline.Observe(d)
+		default:
 			ri.lat.hist[latEngine].Observe(d)
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ringsched/internal/instance"
+	"ringsched/internal/online"
 	"ringsched/internal/workload"
 )
 
@@ -188,6 +189,16 @@ func SelfTest(cfg Config, opts SelfTestOptions, out io.Writer) error {
 			opts.HugeM, resp.Engine, resp.Makespan, time.Since(hugeStart).Round(time.Millisecond))
 	}
 
+	// Streaming phase: a long-lived session fed three arrival waves must
+	// match a one-shot online run over the concatenated sequence — the
+	// end-to-end proof of the incremental engine's bit-identity claim.
+	sessionLine, err := streamingPhase(lc.HTTP, base, opts.Seed)
+	if err != nil {
+		cancel()
+		<-serveDone
+		return err
+	}
+
 	// Drain: cancel the serve context mid-steady-state and require the
 	// graceful path to complete.
 	cancel()
@@ -228,12 +239,128 @@ func SelfTest(cfg Config, opts SelfTestOptions, out io.Writer) error {
 			return fmt.Errorf("serve: selftest huge instance did not register a bigring compute (computesBigring=%d)", delta.ComputesBigring)
 		}
 	}
+	fmt.Fprint(out, sessionLine)
+	if delta.ComputesOnline < 3 {
+		return fmt.Errorf("serve: selftest streaming phase did not register its online computes (computesOnline=%d)", delta.ComputesOnline)
+	}
 
 	if hitRate < 0.5 {
 		return fmt.Errorf("serve: selftest hit-rate %.1f%% below the 50%% bar", 100*hitRate)
 	}
 	fmt.Fprintf(out, "  drain       clean\n")
 	return nil
+}
+
+// streamingPhase drives the /v1/session surface end to end: create a
+// session, feed it three seeded arrival waves (release gaps wide enough
+// that each wave quiesces before the next), assert the incremental
+// results are monotone and conserve work per wave, and require the
+// final makespan/flow-time/steps/hops to be bit-identical to a one-shot
+// online run over the concatenated arrival sequence. Delete returns the
+// terminal snapshot. The report line goes back to the caller.
+func streamingPhase(httpc *http.Client, base string, seed int64) (string, error) {
+	const m = 16
+	fail := func(format string, args ...any) (string, error) {
+		return "", fmt.Errorf("serve: selftest streaming: "+format, args...)
+	}
+	call := func(method, path string, req, resp any) error {
+		var body io.Reader
+		if req != nil {
+			b, err := json.Marshal(req)
+			if err != nil {
+				return err
+			}
+			body = bytes.NewReader(b)
+		}
+		hreq, err := http.NewRequest(method, base+path, body)
+		if err != nil {
+			return err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hres, err := httpc.Do(hreq)
+		if err != nil {
+			return err
+		}
+		defer hres.Body.Close()
+		raw, err := io.ReadAll(hres.Body)
+		if err != nil {
+			return err
+		}
+		if hres.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s %s: status %d: %s", method, path, hres.StatusCode, raw)
+		}
+		return json.Unmarshal(raw, resp)
+	}
+
+	var created SessionCreateResponse
+	if err := call(http.MethodPost, "/v1/session", SessionCreateRequest{M: m}, &created); err != nil {
+		return fail("create: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed + 224737))
+	var all []ArrivalBatch
+	var prevSpan int64
+	start := time.Now()
+	for w := 0; w < 3; w++ {
+		wave := make([]ArrivalBatch, 3)
+		var waveWork int64
+		for i := range wave {
+			wave[i] = ArrivalBatch{
+				// Gaps of 4096 dwarf any wave's work, so every wave
+				// quiesces before the next release.
+				T:     int64(w)*4096 + int64(rng.Intn(8)),
+				Proc:  rng.Intn(m),
+				Count: int64(1 + rng.Intn(20)),
+			}
+			waveWork += wave[i].Count
+		}
+		all = append(all, wave...)
+		var resp SessionArrivalsResponse
+		if err := call(http.MethodPost, "/v1/session/"+created.ID+"/arrivals", SessionArrivalsRequest{Arrivals: wave}, &resp); err != nil {
+			return fail("wave %d: %v", w, err)
+		}
+		if !resp.Quiescent {
+			return fail("wave %d did not quiesce: now=%d pending=%d", w, resp.Now, resp.Pending)
+		}
+		if resp.Makespan < prevSpan {
+			return fail("wave %d makespan regressed %d -> %d", w, prevSpan, resp.Makespan)
+		}
+		prevSpan = resp.Makespan
+		var delta int64
+		for _, d := range resp.DeltaProcessed {
+			delta += d
+		}
+		if delta != waveWork {
+			return fail("wave %d processed %d jobs, appended %d", w, delta, waveWork)
+		}
+	}
+	var terminal SessionSnapshot
+	if err := call(http.MethodDelete, "/v1/session/"+created.ID, nil, &terminal); err != nil {
+		return fail("delete: %v", err)
+	}
+	if !terminal.Terminal || !terminal.Quiescent {
+		return fail("delete snapshot not terminal: %+v", terminal)
+	}
+
+	batches := make([]online.Batch, len(all))
+	for i, a := range all {
+		batches[i] = online.Batch{Time: a.T, Proc: a.Proc, Count: a.Count}
+	}
+	oin, err := online.NewInstance(m, batches)
+	if err != nil {
+		return fail("one-shot instance: %v", err)
+	}
+	oneShot, err := online.Run(oin, online.Params{})
+	if err != nil {
+		return fail("one-shot run: %v", err)
+	}
+	if terminal.Makespan != oneShot.Makespan || terminal.MaxFlowTime != oneShot.MaxFlowTime ||
+		terminal.Steps != oneShot.Steps || terminal.JobHops != oneShot.JobHops {
+		return fail("session result (span %d flow %d steps %d hops %d) != one-shot (%d %d %d %d)",
+			terminal.Makespan, terminal.MaxFlowTime, terminal.Steps, terminal.JobHops,
+			oneShot.Makespan, oneShot.MaxFlowTime, oneShot.Steps, oneShot.JobHops)
+	}
+	return fmt.Sprintf("  sessions    3 waves m=%d makespan=%d flow=%d == one-shot in %s\n",
+		m, terminal.Makespan, terminal.MaxFlowTime, time.Since(start).Round(time.Millisecond)), nil
 }
 
 // dihedralCopy returns a random rotation — reflected half the time — of

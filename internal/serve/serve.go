@@ -77,6 +77,17 @@ type Config struct {
 	// request (bigring.Options.Workers): 0 lets the engine default to
 	// GOMAXPROCS on huge rings, 1 forces sequential stepping.
 	BigRingWorkers int
+	// MaxSessions bounds concurrently live streaming sessions; 0 means
+	// 1024. Creation past the cap answers 429 session_limit.
+	MaxSessions int
+	// SessionTTL is the idle eviction deadline for streaming sessions
+	// (a session untouched this long is evicted); 0 means 10 minutes.
+	// Per-session ttlMs values may shorten it, never extend.
+	SessionTTL time.Duration
+	// SessionFlush, when non-nil, receives the terminal snapshot of
+	// every session flushed by graceful drain (each is stepped to
+	// quiescence first). Called synchronously from the drain path.
+	SessionFlush func(SessionSnapshot)
 	// AccessLog, when non-nil, receives one ringsched.span/v1 JSONL
 	// record per API request: the request ID, endpoint, status, cache
 	// verdict and the span tree (canonicalize, cache, queue, compute
@@ -147,6 +158,12 @@ func (c Config) WithDefaults() Config {
 	if c.BigRingThreshold == 0 {
 		c.BigRingThreshold = 100_000
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 10 * time.Minute
+	}
 	return c
 }
 
@@ -159,6 +176,7 @@ type Server struct {
 	pool      *pool
 	cache     *cache
 	flight    *flightGroup
+	sessions  *sessionRegistry
 	mux       *http.ServeMux
 	start     time.Time
 	stats     *metrics.ServeStats
@@ -206,12 +224,18 @@ func New(cfg Config) *Server {
 		accessLog:  metrics.NewSpanLog(cfg.AccessLog),
 		solverBase: metrics.Solver.Snapshot(),
 	}
+	s.sessions = newSessionRegistry(cfg.MaxSessions, cfg.SessionTTL, stats)
 	for _, ep := range latEndpoints {
 		s.lat[ep] = &endpointLat{}
 	}
 	s.mux.HandleFunc("/v1/schedule", s.wrap("schedule", s.handleSchedule))
 	s.mux.HandleFunc("/v1/optimal", s.wrap("optimal", s.handleOptimal))
 	s.mux.HandleFunc("/v1/compare", s.wrap("compare", s.handleCompare))
+	s.mux.HandleFunc("POST /v1/session", s.wrap("session", s.handleSessionCreate))
+	s.mux.HandleFunc("POST /v1/session/{id}/arrivals", s.wrap("session", s.handleSessionArrivals))
+	s.mux.HandleFunc("GET /v1/session/{id}", s.wrap("session", s.handleSessionGet))
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.wrap("session", s.handleSessionDelete))
+	s.mux.HandleFunc("/v1/algorithms", s.wrap("algorithms", s.handleAlgorithms))
 	s.mux.HandleFunc("/v1/healthz", s.wrap("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/readyz", s.wrap("readyz", s.handleReadyz))
 	s.mux.HandleFunc("/v1/statusz", s.wrap("statusz", s.handleStatusz))
@@ -253,10 +277,12 @@ func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
 // draining.
 func (s *Server) Ready() bool { return !s.notReady.Load() && !s.draining.Load() }
 
-// Close drains the compute pool: admission stops, queued work finishes,
-// workers exit. Idempotent.
+// Close drains the server: admission stops, live streaming sessions are
+// stepped to quiescence and flushed as terminal snapshots, queued pool
+// work finishes, workers exit. Idempotent.
 func (s *Server) Close() {
 	s.draining.Store(true)
+	s.drainSessions()
 	s.pool.drain()
 }
 
@@ -278,10 +304,15 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}()
 	err := srv.Serve(ln)
 	if !errors.Is(err, http.ErrServerClosed) {
+		s.drainSessions()
 		s.pool.drain()
 		return err
 	}
 	shErr := <-done
+	// In-flight HTTP requests have finished (or been cut off), so no
+	// handler holds a session lock: flush surviving sessions, then let
+	// the pool run down.
+	s.drainSessions()
 	s.pool.drain()
 	return shErr
 }
@@ -598,8 +629,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		sum := sha256.Sum256(append(raw, []byte(arrivalsKey(req.Arrivals))...))
 		ident = fmt.Sprintf("exact-%x", sum)
 	}
-	key := fmt.Sprintf("schedule|%s|%s|steps=%d|dist=%t|bidir=%t|engine=%s",
-		ident, req.Algorithm, req.Options.MaxSteps, req.Options.Distributed, req.Options.Bidirectional, eng)
+	key := fmt.Sprintf("schedule|%s|%s|steps=%d|dist=%t|bidir=%t|mig=%d|engine=%s",
+		ident, req.Algorithm, req.Options.MaxSteps, req.Options.Distributed, req.Options.Bidirectional,
+		req.Options.MigrationBudget, eng)
 
 	// Peers replay the request with the engine pinned to our resolution,
 	// so nodes with different thresholds still produce byte-identical
@@ -674,12 +706,16 @@ func (s *Server) computeSchedule(ctx context.Context, in instance.Instance, fp i
 		if err != nil {
 			return nil, err
 		}
-		res, err := online.Run(oin, online.Params{Bidirectional: req.Options.Bidirectional})
+		res, err := online.Run(oin, online.Params{
+			Bidirectional:   req.Options.Bidirectional,
+			MigrationBudget: req.Options.MigrationBudget,
+		})
 		if err != nil {
 			return nil, err
 		}
 		resp.Makespan, resp.Steps, resp.JobHops = res.Makespan, res.Steps, res.JobHops
 		resp.MaxFlowTime = res.MaxFlowTime
+		resp.Migrated = res.Migrated
 		resp.LowerBound = online.LowerBound(oin)
 	default:
 		spec, err := bucket.ByName(req.Algorithm)
@@ -861,8 +897,8 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, r, computeSpec{
 		endpoint:  "compare",
 		key:       key,
-		timeoutMs: req.TimeoutMs,
-		peerReq:   peerForm(CompareRequest{Instance: can, Algorithms: algs, Limits: req.Limits, TimeoutMs: req.TimeoutMs}),
+		timeoutMs: req.timeoutMs(),
+		peerReq:   peerForm(CompareRequest{Instance: can, Algorithms: algs, Limits: req.Limits, Options: req.Options, TimeoutMs: req.TimeoutMs}),
 		compute: func(ctx context.Context) (any, error) {
 			endSolver := ri.span("solver", "compute")
 			optResp, err := solveOptimal(ctx, can, fp, false, req.Limits)
@@ -942,8 +978,11 @@ type statuszResponse struct {
 	CacheCap     int                           `json:"cacheCap"`
 	HitRate      float64                       `json:"hitRate"`
 	Ready        bool                          `json:"ready"`
-	Counters     metrics.ServeSnapshot         `json:"counters"`
-	Latency      map[string]endpointLatencyOut `json:"latency"`
+	// Sessions counts live streaming sessions against their cap.
+	Sessions    int                           `json:"sessions"`
+	SessionsCap int                           `json:"sessionsCap"`
+	Counters    metrics.ServeSnapshot         `json:"counters"`
+	Latency     map[string]endpointLatencyOut `json:"latency"`
 	// Cluster is the cluster layer's status block (shard ownership,
 	// peer breaker states); absent on a single-node daemon.
 	Cluster any `json:"cluster,omitempty"`
@@ -959,6 +998,9 @@ type endpointLatencyOut struct {
 	// the big-ring engine (kept apart from Engine, the pool path, so
 	// huge-instance requests don't skew pool latencies).
 	EngineBigring metrics.QuantileSummary `json:"engineBigring"`
+	// EngineOnline is the same split for streaming sessions' resumable
+	// online engine.
+	EngineOnline metrics.QuantileSummary `json:"engineOnline"`
 }
 
 // latencyOut digests every instrumented endpoint's histograms.
@@ -971,6 +1013,7 @@ func (s *Server) latencyOut() map[string]endpointLatencyOut {
 			Queue:         lat.hist[latQueue].Snapshot().Summary(),
 			Engine:        lat.hist[latEngine].Snapshot().Summary(),
 			EngineBigring: lat.engineBigring.Snapshot().Summary(),
+			EngineOnline:  lat.engineOnline.Snapshot().Summary(),
 		}
 	}
 	return out
@@ -989,6 +1032,8 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		CacheCap:     s.cfg.CacheEntries,
 		HitRate:      snap.HitRate(),
 		Ready:        s.Ready(),
+		Sessions:     s.sessions.len(),
+		SessionsCap:  s.cfg.MaxSessions,
 		Counters:     snap,
 		Latency:      s.latencyOut(),
 	}

@@ -378,6 +378,28 @@ func ScheduleOnline(in OnlineInstance, p OnlineParams) (OnlineResult, error) {
 // clairvoyant optimum.
 func OnlineLowerBound(in OnlineInstance) int64 { return online.LowerBound(in) }
 
+// OnlineEngine is the resumable form of ScheduleOnline: arrivals are
+// appended while the simulation is underway (Append), stepping pauses
+// at any time or at quiescence (StepUntil / StepQuiescent), and every
+// pause point yields a digest (Snapshot) bit-identical to what a
+// one-shot ScheduleOnline over the batches appended so far would
+// report. ringserve's /v1/session endpoints are a thin HTTP surface
+// over this type.
+type OnlineEngine = online.Engine
+
+// OnlineSnapshot is a point-in-time digest of an OnlineEngine.
+type OnlineSnapshot = online.Snapshot
+
+// ErrStaleRelease rejects appending a batch released before the
+// engine's current time.
+var ErrStaleRelease = online.ErrStaleRelease
+
+// NewOnlineEngine returns an empty resumable online engine over a ring
+// of m processors.
+func NewOnlineEngine(m int, p OnlineParams) (*OnlineEngine, error) {
+	return online.NewEngine(m, p)
+}
+
 // OptimalOnline computes the exact clairvoyant optimum (the scheduler
 // that knows all future arrivals), via the release-shifted staircase
 // flow.
